@@ -1,0 +1,228 @@
+// Package gpf_bench holds the benchmark harness regenerating the paper's
+// evaluation: one testing.B benchmark per table and figure of §5. Each
+// benchmark runs the corresponding experiment at the small scale and reports
+// the headline quantity the paper's artifact reports, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates every result. The gpf-bench command prints the full rows.
+package gpf_bench
+
+import (
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/baseline"
+	"github.com/gpf-go/gpf/internal/cluster"
+	"github.com/gpf-go/gpf/internal/core"
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/experiments"
+	"github.com/gpf-go/gpf/internal/workload"
+)
+
+func scale() experiments.Scale { return experiments.SmallScale() }
+
+// BenchmarkTable1 regenerates Table 1: the I/O share of the file-handoff
+// pipeline at 1 versus 30 concurrent samples on Lustre and NFS.
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			if r.Samples == 30 && r.Filesystem == "NFS" {
+				b.ReportMetric(r.IOPercent, "NFS30-io-%")
+			}
+			if r.Samples == 1 && r.Filesystem == "Lustre" {
+				b.ReportMetric(r.IOPercent, "Lustre1-io-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig5 regenerates Figure 5: the concentration of adjacent
+// quality-score deltas that motivates the delta+Huffman codec.
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.DeltaConcentration(0), "delta<=10-%")
+	}
+}
+
+// BenchmarkTable3 regenerates Table 3: per-stage genomic compression.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].Ratio, "fastq-ratio")
+		b.ReportMetric(res.Rows[1].Ratio, "sam-ratio")
+	}
+}
+
+// BenchmarkTable4 regenerates Table 4: the effect of Process-level
+// redundancy elimination on stages and shuffle volume.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Optimized.StageNum), "stages-opt")
+		b.ReportMetric(float64(res.Redundant.StageNum), "stages-redundant")
+		b.ReportMetric(float64(res.Redundant.ShuffleData)/float64(res.Optimized.ShuffleData), "shuffle-reduction-x")
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10: GPF versus Churchill scalability.
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.GPFEfficiency, "gpf-eff-2048-%")
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.GPFTime.Minutes(), "gpf-2048-min")
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11: per-stage comparisons against ADAM,
+// GATK4 and Persona plus aligner throughput.
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.SpeedupOverADAM["Mark Duplicate"], "markdup-vs-adam-x")
+		b.ReportMetric(res.SpeedupOverGATK4["BQSR"], "bqsr-vs-gatk4-x")
+		if len(res.Aligner) > 0 {
+			p := res.Aligner[len(res.Aligner)-1]
+			b.ReportMetric(p.GPFBWA/p.PersonaRealBWA, "align-vs-persona-x")
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12: the blocked-time bounds showing GPF
+// is not I/O bound.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig12(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.MaxDiskImprovement(), "max-disk-gain-%")
+	}
+}
+
+// BenchmarkFig13 regenerates Figure 13: the CPU-bound utilization profile.
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig13(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.MeanCPUUtil, "mean-cpu-%")
+	}
+}
+
+// BenchmarkTable5 regenerates Table 5: parallel efficiency across platforms.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table5(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
+			if r.System == "GPF" {
+				b.ReportMetric(100*r.ParallelEfficiency, "gpf-eff-%")
+			}
+		}
+	}
+}
+
+// --- Ablations of the design choices DESIGN.md calls out ---
+
+func ablate(b *testing.B, opts baseline.WGSOptions) (makespanMin float64, shuffleGB float64) {
+	b.Helper()
+	s := scale()
+	d := workload.Make(func() workload.Profile {
+		p := workload.DefaultProfile(workload.WGS, s.GenomeLen)
+		p.Coverage = s.Coverage
+		return p
+	}(), s.Seed)
+	rt := core.NewRuntime(engine.NewContext(s.Workers), d.Ref)
+	rt.PartitionLen = s.PartitionLen
+	rt.NumPartitions = s.NumPartitions
+	rt.Known = d.Known
+	run, err := baseline.RunWGS(rt, d.Pairs, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpuScale := experiments.PaperBases / float64(d.TotalBases())
+	byteScale := experiments.PaperFASTQBytes / float64(d.FASTQBytes())
+	tr := cluster.TraceFromMetrics(run.Metrics, cpuScale, byteScale).SplitTasks(256)
+	sim := cluster.Simulate(tr, cluster.PaperCluster(), 2048, cluster.SparkOptions())
+	return sim.Makespan.Minutes(), float64(run.Metrics.TotalShuffleBytes()) * byteScale / 1e9
+}
+
+// BenchmarkAblationCodecTier compares the three serializer tiers end to end:
+// the genomic codec versus the Kryo-like field codec versus generic gob —
+// the §4.2 design choice.
+func BenchmarkAblationCodecTier(b *testing.B) {
+	for _, tier := range []core.CodecTier{core.TierGPF, core.TierField, core.TierGob} {
+		b.Run(tier.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := baseline.GPFOptions()
+				opts.Codec = tier
+				mk, gb := ablate(b, opts)
+				b.ReportMetric(mk, "sim-2048-min")
+				b.ReportMetric(gb, "shuffle-GB")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFusion flips the Fig 7 redundancy elimination.
+func BenchmarkAblationFusion(b *testing.B) {
+	for _, fuse := range []bool{true, false} {
+		name := "fused"
+		if !fuse {
+			name = "unfused"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := baseline.GPFOptions()
+				opts.Fuse = fuse
+				mk, gb := ablate(b, opts)
+				b.ReportMetric(mk, "sim-2048-min")
+				b.ReportMetric(gb, "shuffle-GB")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDynamicRepartition flips §4.4's load balancing: without
+// it, coverage hotspots stay in single partitions and the simulated
+// straggler tail grows.
+func BenchmarkAblationDynamicRepartition(b *testing.B) {
+	for _, dyn := range []bool{true, false} {
+		name := "dynamic"
+		if !dyn {
+			name = "static"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := baseline.GPFOptions()
+				opts.DynamicRepartition = dyn
+				mk, _ := ablate(b, opts)
+				b.ReportMetric(mk, "sim-2048-min")
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+// Command gpf-bench regenerates the tables and figures of the paper's
+// evaluation (§5). Each experiment runs the real pipeline on synthetic
+// workloads and, where the paper measured a 2048-core cluster, replays the
+// measured trace through the cluster simulator.
+//
+//	gpf-bench -exp fig10          # one experiment
+//	gpf-bench -exp all            # everything
+//	gpf-bench -exp table4 -scale default
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/gpf-go/gpf/internal/experiments"
+)
+
+type runner struct {
+	id  string
+	fn  func(experiments.Scale) ([]string, error)
+	doc string
+}
+
+func runners() []runner {
+	return []runner{
+		{"table1", func(s experiments.Scale) ([]string, error) {
+			r, err := experiments.Table1(s)
+			return format(r, err)
+		}, "I/O vs CPU share of the file-handoff pipeline, 1 vs 30 samples, Lustre vs NFS"},
+		{"fig5", func(s experiments.Scale) ([]string, error) {
+			r, err := experiments.Fig5(s)
+			return format(r, err)
+		}, "quality-score and adjacent-delta distributions of two samples"},
+		{"table3", func(s experiments.Scale) ([]string, error) {
+			r, err := experiments.Table3(s)
+			return format(r, err)
+		}, "genomic compression per pipeline stage"},
+		{"table4", func(s experiments.Scale) ([]string, error) {
+			r, err := experiments.Table4(s)
+			return format(r, err)
+		}, "redundancy elimination on vs off"},
+		{"fig10", func(s experiments.Scale) ([]string, error) {
+			r, err := experiments.Fig10(s)
+			return format(r, err)
+		}, "cluster scalability: GPF vs Churchill, 128-2048 cores"},
+		{"fig11", func(s experiments.Scale) ([]string, error) {
+			r, err := experiments.Fig11(s)
+			return format(r, err)
+		}, "per-stage strong scaling vs ADAM/GATK4/Persona + aligner throughput"},
+		{"fig12", func(s experiments.Scale) ([]string, error) {
+			r, err := experiments.Fig12(s)
+			return format(r, err)
+		}, "blocked-time analysis: JCT bound from eliminating disk/network"},
+		{"fig13", func(s experiments.Scale) ([]string, error) {
+			r, err := experiments.Fig13(s)
+			return format(r, err)
+		}, "resource-utilization timeline at 2048 cores"},
+		{"table5", func(s experiments.Scale) ([]string, error) {
+			r, err := experiments.Table5(s)
+			return format(r, err)
+		}, "platform comparison: parallel efficiency"},
+	}
+}
+
+type formatter interface{ Format() []string }
+
+func format(r formatter, err error) ([]string, error) {
+	if err != nil {
+		return nil, err
+	}
+	return r.Format(), nil
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1|fig5|table3|table4|fig10|fig11|fig12|fig13|table5|all)")
+	scaleName := flag.String("scale", "small", "workload scale (small|default)")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range runners() {
+			fmt.Printf("%-8s %s\n", r.id, r.doc)
+		}
+		return
+	}
+	scale := experiments.SmallScale()
+	if *scaleName == "default" {
+		scale = experiments.DefaultScale()
+	}
+	ran := false
+	for _, r := range runners() {
+		if *exp != "all" && *exp != r.id {
+			continue
+		}
+		ran = true
+		start := time.Now()
+		lines, err := r.fn(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gpf-bench: %s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s (%s) [%v]\n", r.id, r.doc, time.Since(start).Round(time.Millisecond))
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		fmt.Println()
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "gpf-bench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/experiments"
+)
+
+func TestRunnersCoverEveryExperiment(t *testing.T) {
+	want := map[string]bool{
+		"table1": false, "fig5": false, "table3": false, "table4": false,
+		"fig10": false, "fig11": false, "fig12": false, "fig13": false, "table5": false,
+	}
+	for _, r := range runners() {
+		if _, ok := want[r.id]; !ok {
+			t.Fatalf("unexpected runner %q", r.id)
+		}
+		want[r.id] = true
+		if r.doc == "" {
+			t.Fatalf("runner %q lacks documentation", r.id)
+		}
+	}
+	for id, seen := range want {
+		if !seen {
+			t.Fatalf("experiment %s has no runner", id)
+		}
+	}
+}
+
+func TestRunnerExecutes(t *testing.T) {
+	// fig5 is the cheapest runner; execute it end to end.
+	for _, r := range runners() {
+		if r.id != "fig5" {
+			continue
+		}
+		lines, err := r.fn(experiments.SmallScale())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(lines) == 0 {
+			t.Fatal("no output lines")
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/gpf-go/gpf/pkg/gpf"
+)
+
+func TestWGSRunSynthetic(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "calls.vcf")
+	err := run("", "", "", out, 2, 4, 1_000_000, true, 40000, 8, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	header, calls, err := gpf.ReadVCF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(header.Contigs) != 3 {
+		t.Fatalf("header contigs = %d", len(header.Contigs))
+	}
+	if len(calls) == 0 {
+		t.Fatal("no calls written")
+	}
+}
+
+func TestWGSRunMissingInputs(t *testing.T) {
+	if err := run("", "", "", "x.vcf", 1, 2, 1000, false, 0, 0, false, false); err == nil {
+		t.Fatal("missing inputs should error")
+	}
+	if err := run("/nonexistent.fa", "a", "b", "x.vcf", 1, 2, 1000, false, 0, 0, false, false); err == nil {
+		t.Fatal("bad reference path should error")
+	}
+}
+
+func TestClampPartLen(t *testing.T) {
+	if got := clampPartLen(1_000_000, 40000); got != 4000 {
+		t.Fatalf("clamp = %d, want genome/10", got)
+	}
+	if got := clampPartLen(1000, 40000); got != 1000 {
+		t.Fatalf("small partLen should pass through: %d", got)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/gpf-go/gpf
+
+go 1.23

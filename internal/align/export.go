@@ -1,0 +1,12 @@
+package align
+
+import "github.com/gpf-go/gpf/internal/sam"
+
+// FitAlign fits read end-to-end into a reference window with free reference
+// flanks, returning the score, the window offset where the alignment starts
+// and an M/I/D CIGAR over the whole read. The indel realigner (Cleaner
+// stage) uses it to re-place reads around candidate indels.
+func FitAlign(read, window []byte, sc Scoring) (score, refStart int, cigar sam.Cigar) {
+	fit := fitAlign(read, window, sc)
+	return fit.Score, fit.RefStart, fit.Cigar
+}

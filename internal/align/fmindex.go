@@ -1,0 +1,213 @@
+package align
+
+import (
+	"fmt"
+
+	"github.com/gpf-go/gpf/internal/genome"
+)
+
+// Alphabet for the FM-index: 0 is the sentinel, 1..4 are A,C,G,T.
+const (
+	sentinel   = 0
+	numSymbols = 5
+	// occCheckpoint is the stride of occurrence-count checkpoints; rank
+	// queries scan at most occCheckpoint-1 BWT bytes past a checkpoint.
+	occCheckpoint = 64
+	// saSampleRate is the suffix-array sampling stride for locate queries.
+	saSampleRate = 4
+)
+
+// FMIndex is a BWT-based full-text index over the concatenated reference,
+// supporting backward search (exact-match intervals) and locate.
+type FMIndex struct {
+	ref *genome.Reference
+
+	bwt []byte // BWT of coded text (values 0..4)
+	// counts[c] = number of symbols < c in the text (the C array).
+	counts [numSymbols + 1]int32
+	// occ checkpoints: occ[(i/occCheckpoint)*numSymbols + c] = occurrences
+	// of c in bwt[:i rounded down to checkpoint].
+	occ []int32
+	// sa holds sampled suffix array entries: saSample[i] = SA[i*saSampleRate].
+	saSample []int32
+	n        int // text length including sentinel
+
+	// contig boundary offsets in the concatenated text: contig i spans
+	// [starts[i], starts[i]+len).
+	starts []int64
+}
+
+// code converts a base to the index alphabet, mapping non-ACGT to 'A'
+// (index-side normalization; alignment scoring against the true reference
+// still penalizes such positions).
+func code(b byte) byte {
+	c := genome.BaseCode(b)
+	if c < 0 {
+		c = 0
+	}
+	return byte(c + 1)
+}
+
+// BuildFMIndex indexes the reference genome (forward strand; reads are
+// searched in both orientations by the aligner).
+func BuildFMIndex(ref *genome.Reference) (*FMIndex, error) {
+	var total int64
+	for i := range ref.Contigs {
+		total += int64(ref.Contigs[i].Len())
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("align: empty reference")
+	}
+	text := make([]byte, total+1)
+	starts := make([]int64, ref.NumContigs())
+	var off int64
+	for i := range ref.Contigs {
+		starts[i] = off
+		for _, b := range ref.Contigs[i].Seq {
+			text[off] = code(b)
+			off++
+		}
+	}
+	text[off] = sentinel
+
+	sa := buildSuffixArray(text)
+	n := len(text)
+	idx := &FMIndex{ref: ref, n: n, starts: starts}
+
+	// BWT and sampled SA.
+	idx.bwt = make([]byte, n)
+	idx.saSample = make([]int32, (n+saSampleRate-1)/saSampleRate)
+	for i, p := range sa {
+		if p == 0 {
+			idx.bwt[i] = text[n-1]
+		} else {
+			idx.bwt[i] = text[p-1]
+		}
+		if i%saSampleRate == 0 {
+			idx.saSample[i/saSampleRate] = p
+		}
+	}
+	// To locate unsampled rows we need LF-mapping walks; store full SA rows
+	// mod sample via walking — but walking needs occ, built next.
+
+	// C array.
+	var freq [numSymbols]int32
+	for _, c := range text {
+		freq[c]++
+	}
+	var cum int32
+	for c := 0; c < numSymbols; c++ {
+		idx.counts[c] = cum
+		cum += freq[c]
+	}
+	idx.counts[numSymbols] = cum
+
+	// Occ checkpoints. The loop runs to i == n inclusive so the final
+	// checkpoint is written even when n is an exact multiple of the stride
+	// (rank(c, n) reads it).
+	nCheck := n/occCheckpoint + 1
+	idx.occ = make([]int32, nCheck*numSymbols)
+	var running [numSymbols]int32
+	for i := 0; i <= n; i++ {
+		if i%occCheckpoint == 0 {
+			copy(idx.occ[(i/occCheckpoint)*numSymbols:], running[:])
+		}
+		if i < n {
+			running[idx.bwt[i]]++
+		}
+	}
+	// We intentionally drop the full SA; locate walks LF to a sampled row.
+	return idx, nil
+}
+
+// rank returns the number of occurrences of symbol c in bwt[:i].
+func (x *FMIndex) rank(c byte, i int32) int32 {
+	cp := int(i) / occCheckpoint
+	count := x.occ[cp*numSymbols+int(c)]
+	for j := cp * occCheckpoint; j < int(i); j++ {
+		if x.bwt[j] == c {
+			count++
+		}
+	}
+	return count
+}
+
+// lf is the last-to-first mapping of BWT row i.
+func (x *FMIndex) lf(i int32) int32 {
+	c := x.bwt[i]
+	return x.counts[c] + x.rank(c, i)
+}
+
+// Interval is a BWT row range [Lo, Hi) matching some query suffix.
+type Interval struct {
+	Lo, Hi int32
+}
+
+// Size returns the number of matches in the interval.
+func (iv Interval) Size() int { return int(iv.Hi - iv.Lo) }
+
+// BackwardSearch returns the BWT interval of exact occurrences of pattern
+// (ACGT bytes). An empty interval means no match.
+func (x *FMIndex) BackwardSearch(pattern []byte) Interval {
+	lo, hi := int32(0), int32(x.n)
+	for i := len(pattern) - 1; i >= 0; i-- {
+		bc := genome.BaseCode(pattern[i])
+		if bc < 0 {
+			return Interval{}
+		}
+		c := byte(bc + 1)
+		lo = x.counts[c] + x.rank(c, lo)
+		hi = x.counts[c] + x.rank(c, hi)
+		if lo >= hi {
+			return Interval{}
+		}
+	}
+	return Interval{Lo: lo, Hi: hi}
+}
+
+// Locate resolves up to maxHits text positions for an interval by LF-walking
+// to sampled suffix-array rows.
+func (x *FMIndex) Locate(iv Interval, maxHits int) []int64 {
+	var out []int64
+	for r := iv.Lo; r < iv.Hi && len(out) < maxHits; r++ {
+		row := r
+		steps := int32(0)
+		for row%saSampleRate != 0 {
+			row = x.lf(row)
+			steps++
+		}
+		pos := int64(x.saSample[row/saSampleRate]) + int64(steps)
+		if pos >= int64(x.n) {
+			pos -= int64(x.n)
+		}
+		out = append(out, pos)
+	}
+	return out
+}
+
+// Resolve converts a concatenated-text offset into (contig, position). The
+// second result is false for offsets past the last contig (the sentinel).
+func (x *FMIndex) Resolve(off int64) (genome.Position, bool) {
+	if off >= int64(x.n-1) || off < 0 {
+		return genome.Position{}, false
+	}
+	// Binary search over starts.
+	lo, hi := 0, len(x.starts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if x.starts[mid] <= off {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	c := lo
+	pos := int(off - x.starts[c])
+	if pos >= x.ref.Contigs[c].Len() {
+		return genome.Position{}, false
+	}
+	return genome.Position{Contig: c, Pos: pos}, true
+}
+
+// Reference returns the indexed reference.
+func (x *FMIndex) Reference() *genome.Reference { return x.ref }

@@ -1,0 +1,54 @@
+// Package align implements the Aligner stage substrate: a Burrows-Wheeler
+// transform / FM-index over the reference genome, exact-match backward
+// search, seed-and-extend alignment with banded Smith-Waterman, and a
+// paired-end aligner in the style of BWA-MEM (§2.1: the Aligner employs a
+// BWT algorithm to index the genome and maps reads against it).
+package align
+
+import "sort"
+
+// buildSuffixArray constructs the suffix array of s by prefix doubling
+// (O(n log² n)), adequate for the laptop-scale genomes of this reproduction.
+// The input must not contain the value 0 except as an implicit terminator;
+// callers pass 2-bit-coded text with values ≥ 1.
+func buildSuffixArray(s []byte) []int32 {
+	n := len(s)
+	sa := make([]int32, n)
+	rank := make([]int32, n)
+	tmp := make([]int32, n)
+	for i := 0; i < n; i++ {
+		sa[i] = int32(i)
+		rank[i] = int32(s[i])
+	}
+	for k := 1; ; k *= 2 {
+		key := func(i int32) (int32, int32) {
+			second := int32(-1)
+			if int(i)+k < n {
+				second = rank[int(i)+k]
+			}
+			return rank[i], second
+		}
+		sort.Slice(sa, func(a, b int) bool {
+			r1a, r2a := key(sa[a])
+			r1b, r2b := key(sa[b])
+			if r1a != r1b {
+				return r1a < r1b
+			}
+			return r2a < r2b
+		})
+		tmp[sa[0]] = 0
+		for i := 1; i < n; i++ {
+			r1a, r2a := key(sa[i-1])
+			r1b, r2b := key(sa[i])
+			tmp[sa[i]] = tmp[sa[i-1]]
+			if r1a != r1b || r2a != r2b {
+				tmp[sa[i]]++
+			}
+		}
+		copy(rank, tmp)
+		if int(rank[sa[n-1]]) == n-1 {
+			break
+		}
+	}
+	return sa
+}

@@ -1,0 +1,194 @@
+package baseline
+
+import (
+	"github.com/gpf-go/gpf/internal/cleaner"
+	"github.com/gpf-go/gpf/internal/compress"
+	"github.com/gpf-go/gpf/internal/core"
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/sam"
+)
+
+// StageStyle captures how a comparator executes one pipeline stage: which
+// serializer tier it shuffles through, and whether it converts records
+// into its own storage format before and after the stage (ADAM's
+// SAM→columnar conversion; Persona's SAM→AGD).
+type StageStyle struct {
+	System  System
+	Codec   core.CodecTier
+	Convert bool
+}
+
+// StyleGPF runs the stage the GPF way: genomic codec, no conversion.
+func StyleGPF() StageStyle { return StageStyle{System: GPF, Codec: core.TierGPF} }
+
+// StyleADAM runs the stage ADAM-style: generic serialization plus format
+// conversion on entry and exit.
+func StyleADAM() StageStyle { return StageStyle{System: ADAM, Codec: core.TierGob, Convert: true} }
+
+// StyleGATK4 runs the stage GATK4-Spark-style: generic serialization, no
+// extra conversion.
+func StyleGATK4() StageStyle { return StageStyle{System: GATK4, Codec: core.TierGob} }
+
+// StylePersona runs the stage Persona-style: field packing into the AGD-like
+// layout with conversion on entry and exit.
+func StylePersona() StageStyle {
+	return StageStyle{System: Persona, Codec: core.TierField, Convert: true}
+}
+
+// convertStage round-trips every partition through the generic serializer —
+// the cost of materializing another framework's on-memory format.
+func convertStage(name string, ds *engine.Dataset[sam.Record], codec engine.Serializer[sam.Record]) (*engine.Dataset[sam.Record], error) {
+	gob := compress.GobCodec[sam.Record]{}
+	return engine.MapPartitions(name, ds, codec, func(_ int, recs []sam.Record) ([]sam.Record, error) {
+		blob, err := gob.Marshal(recs)
+		if err != nil {
+			return nil, err
+		}
+		return gob.Unmarshal(blob)
+	})
+}
+
+// stageCodec picks the serializer for a style.
+func stageCodec(rt *core.Runtime, style StageStyle) engine.Serializer[sam.Record] {
+	saved := rt.Codec
+	rt.Codec = style.Codec
+	c := rt.SAMCodec()
+	rt.Codec = saved
+	return c
+}
+
+// positionKey partitions mapped records by coarse genomic position.
+func positionKey(r sam.Record) int {
+	if r.RefID < 0 {
+		return 0
+	}
+	return int(r.RefID)<<16 | int(r.Pos)>>16
+}
+
+// RunMarkDupStage executes the duplicate-marking stage under the style and
+// returns the engine metrics of just this stage (the Fig 11(a) measurement).
+func RunMarkDupStage(rt *core.Runtime, records []sam.Record, style StageStyle) (engine.Metrics, error) {
+	rt.Engine.ResetMetrics()
+	codec := stageCodec(rt, style)
+	ds := engine.WithCodec(engine.Parallelize(rt.Engine, records, rt.NumPartitions), codec)
+	var err error
+	if style.Convert {
+		if ds, err = convertStage(style.System.String()+"/convert-in", ds, codec); err != nil {
+			return engine.Metrics{}, err
+		}
+	}
+	grouped, err := engine.PartitionBy(style.System.String()+"/group", ds, rt.NumPartitions,
+		func(r sam.Record) int { return cleaner.GroupKey(&r) })
+	if err != nil {
+		return engine.Metrics{}, err
+	}
+	marked, err := engine.MapPartitions(style.System.String()+"/mark", grouped, codec,
+		func(_ int, recs []sam.Record) ([]sam.Record, error) {
+			out := append([]sam.Record(nil), recs...)
+			cleaner.SortByCoordinate(out)
+			cleaner.MarkDuplicates(out)
+			return out, nil
+		})
+	if err != nil {
+		return engine.Metrics{}, err
+	}
+	if style.Convert {
+		if marked, err = convertStage(style.System.String()+"/convert-out", marked, codec); err != nil {
+			return engine.Metrics{}, err
+		}
+	}
+	if _, err := engine.Count(style.System.String()+"/materialize", marked); err != nil {
+		return engine.Metrics{}, err
+	}
+	return rt.Engine.Metrics(), nil
+}
+
+// RunRealignStage executes indel realignment under the style (Fig 11(c)).
+func RunRealignStage(rt *core.Runtime, records []sam.Record, style StageStyle) (engine.Metrics, error) {
+	rt.Engine.ResetMetrics()
+	codec := stageCodec(rt, style)
+	ds := engine.WithCodec(engine.Parallelize(rt.Engine, records, rt.NumPartitions), codec)
+	var err error
+	if style.Convert {
+		if ds, err = convertStage(style.System.String()+"/convert-in", ds, codec); err != nil {
+			return engine.Metrics{}, err
+		}
+	}
+	grouped, err := engine.PartitionBy(style.System.String()+"/partition", ds, rt.NumPartitions, positionKey)
+	if err != nil {
+		return engine.Metrics{}, err
+	}
+	sc := rt.AlignerConfig.Scoring
+	realigned, err := engine.MapPartitions(style.System.String()+"/realign", grouped, codec,
+		func(_ int, recs []sam.Record) ([]sam.Record, error) {
+			out := append([]sam.Record(nil), recs...)
+			cleaner.RealignIndels(out, rt.Ref, sc)
+			return out, nil
+		})
+	if err != nil {
+		return engine.Metrics{}, err
+	}
+	if style.Convert {
+		if realigned, err = convertStage(style.System.String()+"/convert-out", realigned, codec); err != nil {
+			return engine.Metrics{}, err
+		}
+	}
+	if _, err := engine.Count(style.System.String()+"/materialize", realigned); err != nil {
+		return engine.Metrics{}, err
+	}
+	return rt.Engine.Metrics(), nil
+}
+
+// RunBQSRStage executes base recalibration under the style (Fig 11(b)),
+// including the serial collect+broadcast step.
+func RunBQSRStage(rt *core.Runtime, records []sam.Record, style StageStyle) (engine.Metrics, error) {
+	rt.Engine.ResetMetrics()
+	codec := stageCodec(rt, style)
+	ds := engine.WithCodec(engine.Parallelize(rt.Engine, records, rt.NumPartitions), codec)
+	var err error
+	if style.Convert {
+		if ds, err = convertStage(style.System.String()+"/convert-in", ds, codec); err != nil {
+			return engine.Metrics{}, err
+		}
+	}
+	grouped, err := engine.PartitionBy(style.System.String()+"/partition", ds, rt.NumPartitions, positionKey)
+	if err != nil {
+		return engine.Metrics{}, err
+	}
+	tables, err := engine.MapPartitions(style.System.String()+"/count-covariates", grouped, nil,
+		func(_ int, recs []sam.Record) ([]*cleaner.RecalTable, error) {
+			return []*cleaner.RecalTable{cleaner.BuildRecalTable(recs, rt.Ref, nil)}, nil
+		})
+	if err != nil {
+		return engine.Metrics{}, err
+	}
+	merged, found, err := engine.Reduce(style.System.String()+"/collect", tables,
+		func(a, b *cleaner.RecalTable) *cleaner.RecalTable { return a.Merge(b) })
+	if err != nil {
+		return engine.Metrics{}, err
+	}
+	if !found {
+		merged = &cleaner.RecalTable{}
+	}
+	bc := engine.NewBroadcast(rt.Engine, style.System.String()+"/broadcast-mask", merged, merged.SizeBytes())
+	recaled, err := engine.MapPartitions(style.System.String()+"/apply", grouped, codec,
+		func(_ int, recs []sam.Record) ([]sam.Record, error) {
+			out := append([]sam.Record(nil), recs...)
+			if err := cleaner.ApplyRecalibration(out, bc.Value); err != nil {
+				return nil, err
+			}
+			return out, nil
+		})
+	if err != nil {
+		return engine.Metrics{}, err
+	}
+	if style.Convert {
+		if recaled, err = convertStage(style.System.String()+"/convert-out", recaled, codec); err != nil {
+			return engine.Metrics{}, err
+		}
+	}
+	if _, err := engine.Count(style.System.String()+"/materialize", recaled); err != nil {
+		return engine.Metrics{}, err
+	}
+	return rt.Engine.Metrics(), nil
+}

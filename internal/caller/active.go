@@ -1,0 +1,132 @@
+// Package caller implements the Caller stage: a HaplotypeCaller-equivalent
+// variant caller (§2.1, Table 2: "calling variants via local de-novo
+// assembly of haplotypes in an active region based on paired-HMM algorithm").
+// The pipeline is: detect active regions from pileup disagreement, assemble
+// candidate haplotypes with a local de Bruijn graph, score every read against
+// every haplotype with a log-space pair-HMM, genotype diploid haplotype
+// pairs, and emit VCF records. A simple pileup caller is included as the
+// baseline comparator.
+package caller
+
+import (
+	"github.com/gpf-go/gpf/internal/genome"
+	"github.com/gpf-go/gpf/internal/sam"
+)
+
+// Config tunes the caller.
+type Config struct {
+	K              int     // de Bruijn k-mer size
+	MaxHaplotypes  int     // haplotypes kept per region
+	RegionPad      int     // reference padding around an active region
+	MinBaseQual    int     // bases below this Phred are ignored in detection
+	MinActiveFrac  float64 // fraction of disagreeing bases that activates a site
+	MinActiveDepth int     // minimum depth for a site to activate
+	MinQual        float64 // emit threshold on variant QUAL
+	UseGVCF        bool    // also emit reference blocks (gVCF mode)
+	// MaxReadsPerRegion caps the reads entering the pair-HMM per active
+	// region (GATK-style downsampling): coverage pileups beyond ~10,000x
+	// (§4.4) would otherwise make single regions arbitrarily expensive.
+	MaxReadsPerRegion int
+}
+
+// DefaultConfig returns HaplotypeCaller-like parameters for 100 bp reads.
+func DefaultConfig() Config {
+	return Config{
+		K:                 19,
+		MaxHaplotypes:     8,
+		RegionPad:         30,
+		MinBaseQual:       10,
+		MinActiveFrac:     0.15,
+		MinActiveDepth:    3,
+		MinQual:           20,
+		MaxReadsPerRegion: 256,
+	}
+}
+
+// pileupCell accumulates per-reference-position evidence.
+type pileupCell struct {
+	depth    int
+	mismatch int
+	indel    int
+}
+
+// FindActiveRegions scans aligned records for reference positions where
+// reads disagree with the reference (mismatches or indel breakpoints) and
+// returns padded, merged intervals around them.
+func FindActiveRegions(records []sam.Record, ref *genome.Reference, cfg Config) []genome.Interval {
+	cells := map[genome.Position]*pileupCell{}
+	bump := func(contig, pos int) *pileupCell {
+		key := genome.Position{Contig: contig, Pos: pos}
+		c := cells[key]
+		if c == nil {
+			c = &pileupCell{}
+			cells[key] = c
+		}
+		return c
+	}
+	for i := range records {
+		r := &records[i]
+		if r.Unmapped() || r.Duplicate() || len(r.Seq) == 0 {
+			continue
+		}
+		contig := int(r.RefID)
+		refSeq := ref.Contig(contig)
+		if refSeq == nil {
+			continue
+		}
+		readPos, refPos := 0, int(r.Pos)
+		for _, op := range r.Cigar {
+			switch op.Op {
+			case 'M', '=', 'X':
+				for k := 0; k < op.Len; k++ {
+					rp := refPos + k
+					if rp < 0 || rp >= len(refSeq.Seq) || readPos+k >= len(r.Seq) {
+						continue
+					}
+					if int(r.Qual[readPos+k])-33 < cfg.MinBaseQual {
+						continue
+					}
+					c := bump(contig, rp)
+					c.depth++
+					if r.Seq[readPos+k] != refSeq.Seq[rp] {
+						c.mismatch++
+					}
+				}
+				readPos += op.Len
+				refPos += op.Len
+			case 'I':
+				c := bump(contig, refPos)
+				c.depth++
+				c.indel++
+				readPos += op.Len
+			case 'D', 'N':
+				c := bump(contig, refPos)
+				c.depth++
+				c.indel++
+				refPos += op.Len
+			case 'S':
+				readPos += op.Len
+			}
+		}
+	}
+	var ivs []genome.Interval
+	for pos, c := range cells {
+		if c.depth < cfg.MinActiveDepth {
+			continue
+		}
+		frac := float64(c.mismatch+c.indel*2) / float64(c.depth)
+		if frac < cfg.MinActiveFrac {
+			continue
+		}
+		start := pos.Pos - cfg.RegionPad
+		if start < 0 {
+			start = 0
+		}
+		end := pos.Pos + cfg.RegionPad
+		if contig := ref.Contig(pos.Contig); contig != nil && end > contig.Len() {
+			end = contig.Len()
+		}
+		ivs = append(ivs, genome.Interval{Contig: pos.Contig, Start: start, End: end})
+	}
+	return genome.MergeIntervals(ivs)
+}

@@ -1,0 +1,148 @@
+package caller
+
+import (
+	"sort"
+)
+
+// Local de Bruijn assembly: candidate haplotypes for an active region are
+// paths through the k-mer graph built from the spanning reads plus the
+// reference backbone, anchored at the first and last reference k-mers.
+
+// dbgEdge is one outgoing edge of a k-mer node.
+type dbgEdge struct {
+	next    string
+	base    byte
+	support int
+}
+
+// assembleHaplotypes builds the graph from refWindow and reads and
+// enumerates up to maxH haplotypes (always including the reference window).
+// minSupport prunes read-only k-mers seen fewer times.
+func assembleHaplotypes(refWindow []byte, reads [][]byte, k, maxH, minSupport int) [][]byte {
+	haps := [][]byte{refWindow}
+	if len(refWindow) <= k || k < 4 {
+		return haps
+	}
+	// Count k-mers.
+	support := map[string]int{}
+	addKmers := func(seq []byte, weight int) {
+		for i := 0; i+k <= len(seq); i++ {
+			km := seq[i : i+k]
+			if hasN(km) {
+				continue
+			}
+			support[string(km)] += weight
+		}
+	}
+	for _, r := range reads {
+		addKmers(r, 1)
+	}
+	// Reference k-mers always survive pruning.
+	refKmers := map[string]bool{}
+	for i := 0; i+k <= len(refWindow); i++ {
+		km := string(refWindow[i : i+k])
+		refKmers[km] = true
+		if support[km] == 0 {
+			support[km] = 1
+		}
+	}
+	// Prune weakly supported non-reference k-mers.
+	for km, s := range support {
+		if s < minSupport && !refKmers[km] {
+			delete(support, km)
+		}
+	}
+	// Adjacency.
+	adj := map[string][]dbgEdge{}
+	for km := range support {
+		prefix := km[1:]
+		for _, b := range []byte("ACGT") {
+			next := prefix + string(b)
+			if s, ok := support[next]; ok {
+				adj[km] = append(adj[km], dbgEdge{next: next, base: b, support: s})
+			}
+		}
+	}
+	// Deterministic edge order: highest support first, then base.
+	for km := range adj {
+		edges := adj[km]
+		sort.Slice(edges, func(i, j int) bool {
+			if edges[i].support != edges[j].support {
+				return edges[i].support > edges[j].support
+			}
+			return edges[i].base < edges[j].base
+		})
+	}
+
+	source := string(refWindow[:k])
+	sink := string(refWindow[len(refWindow)-k:])
+	if _, ok := support[source]; !ok {
+		return haps
+	}
+	maxLen := len(refWindow) + 60
+
+	// Bounded DFS from source to sink.
+	var paths [][]byte
+	var walk func(cur string, acc []byte, visited map[string]int)
+	walk = func(cur string, acc []byte, visited map[string]int) {
+		if len(paths) >= maxH*4 || len(acc) > maxLen {
+			return
+		}
+		if cur == sink && len(acc) >= len(refWindow)-60 {
+			paths = append(paths, append([]byte(nil), acc...))
+			// Continue: the sink k-mer may recur, but bounded depth stops us.
+		}
+		if visited[cur] >= 2 { // allow one revisit for short tandem loops
+			return
+		}
+		visited[cur]++
+		for _, e := range adj[cur] {
+			walk(e.next, append(acc, e.base), visited)
+		}
+		visited[cur]--
+	}
+	walk(source, append([]byte(nil), source...), map[string]int{})
+
+	// Score paths by summed k-mer support, keep the best non-reference ones.
+	type scored struct {
+		seq   []byte
+		score int
+	}
+	var cands []scored
+	seen := map[string]bool{string(refWindow): true}
+	for _, p := range paths {
+		if seen[string(p)] {
+			continue
+		}
+		seen[string(p)] = true
+		s := 0
+		for i := 0; i+k <= len(p); i++ {
+			s += support[string(p[i:i+k])]
+		}
+		cands = append(cands, scored{seq: p, score: s})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].score != cands[j].score {
+			return cands[i].score > cands[j].score
+		}
+		return string(cands[i].seq) < string(cands[j].seq)
+	})
+	for _, c := range cands {
+		if len(haps) >= maxH {
+			break
+		}
+		haps = append(haps, c.seq)
+	}
+	return haps
+}
+
+func hasN(seq []byte) bool {
+	for _, b := range seq {
+		switch b {
+		case 'A', 'C', 'G', 'T':
+		default:
+			return true
+		}
+	}
+	return false
+}

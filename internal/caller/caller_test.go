@@ -1,0 +1,337 @@
+package caller
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/align"
+	"github.com/gpf-go/gpf/internal/cleaner"
+	"github.com/gpf-go/gpf/internal/fastq"
+	"github.com/gpf-go/gpf/internal/genome"
+	"github.com/gpf-go/gpf/internal/sam"
+	"github.com/gpf-go/gpf/internal/vcf"
+)
+
+func TestLogSumExp(t *testing.T) {
+	a := math.Log(0.3)
+	b := math.Log(0.7)
+	if got := logSumExp2(a, b); math.Abs(got) > 1e-12 {
+		t.Fatalf("logSumExp2(log .3, log .7) = %v, want 0", got)
+	}
+	inf := math.Inf(-1)
+	if got := logSumExp2(inf, b); got != b {
+		t.Fatalf("logSumExp2(-inf, b) = %v", got)
+	}
+	if got := logSumExp2(a, inf); got != a {
+		t.Fatalf("logSumExp2(a, -inf) = %v", got)
+	}
+	c := math.Log(0.5)
+	if got := logSumExp3(a, b, c); math.Abs(got-math.Log(1.5)) > 1e-12 {
+		t.Fatalf("logSumExp3 = %v", got)
+	}
+}
+
+func TestPairHMMPrefersMatchingHaplotype(t *testing.T) {
+	hap := []byte("ACGTACGTACGTACGTACGTACGTACGT")
+	read := hap[4:20]
+	qual := bytes.Repeat([]byte("I"), len(read))
+	match := PairHMMLogLikelihood(read, qual, hap)
+	// Mutate the haplotype in the read's span.
+	altHap := append([]byte(nil), hap...)
+	altHap[10] = 'T'
+	if altHap[10] == hap[10] {
+		altHap[10] = 'C'
+	}
+	mismatch := PairHMMLogLikelihood(read, qual, altHap)
+	if match <= mismatch {
+		t.Fatalf("match LL %v should exceed mismatch LL %v", match, mismatch)
+	}
+}
+
+func TestPairHMMQualitySensitivity(t *testing.T) {
+	hap := []byte("ACGTACGTACGTACGTACGT")
+	read := append([]byte(nil), hap[2:18]...)
+	read[7] = 'A'
+	if read[7] == hap[9] {
+		read[7] = 'C'
+	}
+	hiQ := bytes.Repeat([]byte("I"), len(read)) // Q40
+	loQ := append([]byte(nil), hiQ...)
+	loQ[7] = '#' // Q2 at the mismatch
+	hi := PairHMMLogLikelihood(read, hiQ, hap)
+	lo := PairHMMLogLikelihood(read, loQ, hap)
+	// A low-quality mismatch is less surprising: higher likelihood.
+	if lo <= hi {
+		t.Fatalf("low-qual mismatch LL %v should exceed high-qual %v", lo, hi)
+	}
+}
+
+func TestPairHMMEmptyInputs(t *testing.T) {
+	if !math.IsInf(PairHMMLogLikelihood(nil, nil, []byte("ACGT")), -1) {
+		t.Fatal("empty read should yield -inf")
+	}
+	if !math.IsInf(PairHMMLogLikelihood([]byte("ACGT"), []byte("IIII"), nil), -1) {
+		t.Fatal("empty hap should yield -inf")
+	}
+}
+
+func TestAssembleHaplotypesRecoversVariant(t *testing.T) {
+	ref := genome.Synthesize(genome.DefaultSynthConfig(201, 4000, 1))
+	window := append([]byte(nil), ref.Contigs[0].Seq[500:700]...)
+	if hasN(window) {
+		t.Skip("N in window")
+	}
+	// Alt haplotype with one SNV in the middle.
+	alt := append([]byte(nil), window...)
+	alt[100] = substituteBase(alt[100])
+	// Reads tiled across the alt haplotype.
+	var reads [][]byte
+	for i := 0; i+60 <= len(alt); i += 10 {
+		reads = append(reads, alt[i:i+60])
+	}
+	haps := assembleHaplotypes(window, reads, 19, 8, 2)
+	if len(haps) < 2 {
+		t.Fatalf("assembly produced %d haplotypes; want >= 2", len(haps))
+	}
+	found := false
+	for _, h := range haps[1:] {
+		if bytes.Equal(h, alt) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("alt haplotype not recovered by assembly")
+	}
+}
+
+func TestAssembleHaplotypesRefOnly(t *testing.T) {
+	// Non-repetitive window so the de Bruijn graph is acyclic.
+	window := []byte("AACGTGCTAGGATCCTAGCAAGTCCAGTTGCA")
+	// Reads agree with reference: only ref haplotype expected.
+	reads := [][]byte{window[:20], window[10:30]}
+	haps := assembleHaplotypes(window, reads, 11, 8, 2)
+	if len(haps) != 1 {
+		t.Fatalf("clean reads produced %d haplotypes", len(haps))
+	}
+	// Degenerate window shorter than k.
+	if got := assembleHaplotypes([]byte("ACGT"), nil, 19, 8, 2); len(got) != 1 {
+		t.Fatal("short window must return ref only")
+	}
+}
+
+func substituteBase(b byte) byte {
+	for _, c := range []byte("ACGT") {
+		if c != b {
+			return c
+		}
+	}
+	return 'A'
+}
+
+func TestVariantsFromHaplotypeSNV(t *testing.T) {
+	window := []byte("AACCGGTTAACCGGTT")
+	hap := append([]byte(nil), window...)
+	hap[5] = 'A' // G->A at window offset 5
+	vars := variantsFromHaplotype(hap, window, 1000, align.DefaultScoring())
+	if len(vars) != 1 {
+		t.Fatalf("vars = %+v", vars)
+	}
+	if vars[0].pos != 1005 || vars[0].ref != "G" || vars[0].alt != "A" {
+		t.Fatalf("var = %+v", vars[0])
+	}
+}
+
+func TestVariantsFromHaplotypeIndel(t *testing.T) {
+	window := []byte("AACCGGTTAACCGGTTAACC")
+	// Deletion of 2 bases at offset 8-9.
+	hap := append(append([]byte(nil), window[:8]...), window[10:]...)
+	vars := variantsFromHaplotype(hap, window, 0, align.DefaultScoring())
+	if len(vars) != 1 {
+		t.Fatalf("vars = %+v", vars)
+	}
+	v := vars[0]
+	if v.pos != 7 || len(v.ref) != 3 || len(v.alt) != 1 {
+		t.Fatalf("del var = %+v", v)
+	}
+	// Insertion of TTT after the TT run at 6-7; the aligner left-aligns the
+	// ambiguous placement to the anchor at offset 5.
+	hap2 := append([]byte(nil), window[:8]...)
+	hap2 = append(hap2, 'T', 'T', 'T')
+	hap2 = append(hap2, window[8:]...)
+	vars2 := variantsFromHaplotype(hap2, window, 0, align.DefaultScoring())
+	if len(vars2) != 1 {
+		t.Fatalf("ins vars = %+v", vars2)
+	}
+	if len(vars2[0].alt) != 4 || len(vars2[0].ref) != 1 || vars2[0].pos > 7 {
+		t.Fatalf("ins var = %+v", vars2[0])
+	}
+}
+
+// pipelineRecords builds an aligned, deduped, realigned dataset over a donor
+// genome — the state the Caller receives.
+func pipelineRecords(t *testing.T, seed int64, size int, coverage float64) (*genome.Reference, *genome.Donor, []sam.Record) {
+	t.Helper()
+	ref := genome.Synthesize(genome.DefaultSynthConfig(seed, size, 1))
+	donor := genome.Mutate(ref, genome.DefaultMutateConfig(seed+1))
+	pairs := fastq.Simulate(donor, fastq.DefaultSimConfig(seed+2, coverage))
+	idx, err := align.BuildFMIndex(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligner := align.NewAligner(idx, align.Config{})
+	var records []sam.Record
+	for i := range pairs {
+		r1, r2 := aligner.AlignPair(&pairs[i])
+		records = append(records, r1, r2)
+	}
+	cleaner.SortByCoordinate(records)
+	cleaner.MarkDuplicates(records)
+	cleaner.RealignIndels(records, ref, align.DefaultScoring())
+	return ref, donor, records
+}
+
+func TestFindActiveRegionsAroundVariants(t *testing.T) {
+	ref, donor, records := pipelineRecords(t, 301, 30000, 15)
+	regions := FindActiveRegions(records, ref, DefaultConfig())
+	if len(regions) == 0 {
+		t.Fatal("no active regions over a mutated genome")
+	}
+	// Most heterozygous/homozygous SNVs with coverage should be inside a
+	// region.
+	covered := 0
+	total := 0
+	for _, v := range donor.Truth.Variants {
+		if v.Type != genome.SNV {
+			continue
+		}
+		total++
+		for _, r := range regions {
+			if r.Contains(v.Contig, v.Pos) {
+				covered++
+				break
+			}
+		}
+	}
+	if total == 0 {
+		t.Skip("no SNVs injected")
+	}
+	if float64(covered)/float64(total) < 0.6 {
+		t.Fatalf("only %d/%d truth SNVs inside active regions", covered, total)
+	}
+}
+
+func TestCallVariantsRecall(t *testing.T) {
+	ref, donor, records := pipelineRecords(t, 401, 40000, 20)
+	calls := CallVariants(records, ref, DefaultConfig())
+	if len(calls) == 0 {
+		t.Fatal("no variants called")
+	}
+	var truth []vcf.Record
+	for _, v := range donor.Truth.Variants {
+		truth = append(truth, vcf.Record{
+			Chrom: ref.Contigs[v.Contig].Name,
+			Pos:   v.Pos,
+			Ref:   string(v.Ref),
+			Alt:   string(v.Alt),
+		})
+	}
+	stats := vcf.Compare(calls, truth, 2)
+	if stats.Recall() < 0.5 {
+		t.Fatalf("recall %.2f too low (TP=%d FP=%d FN=%d)",
+			stats.Recall(), stats.TruePositive, stats.FalsePositive, stats.FalseNegative)
+	}
+	if stats.Precision() < 0.5 {
+		t.Fatalf("precision %.2f too low (TP=%d FP=%d)",
+			stats.Precision(), stats.TruePositive, stats.FalsePositive)
+	}
+}
+
+func TestCallVariantsEmptyInput(t *testing.T) {
+	ref := genome.Synthesize(genome.DefaultSynthConfig(501, 5000, 1))
+	if got := CallVariants(nil, ref, DefaultConfig()); got != nil {
+		t.Fatalf("no reads should call nothing, got %v", got)
+	}
+}
+
+func TestCallVariantsSortedAndDeduped(t *testing.T) {
+	ref, _, records := pipelineRecords(t, 601, 30000, 15)
+	calls := CallVariants(records, ref, DefaultConfig())
+	for i := 1; i < len(calls); i++ {
+		a, b := calls[i-1], calls[i]
+		if a.Chrom == b.Chrom && a.Pos == b.Pos && a.Ref == b.Ref && a.Alt == b.Alt {
+			t.Fatalf("duplicate call at %s:%d", b.Chrom, b.Pos)
+		}
+		if a.Chrom == b.Chrom && a.Pos > b.Pos {
+			t.Fatalf("calls out of order at index %d", i)
+		}
+	}
+}
+
+func TestPileupCallFindsSNVs(t *testing.T) {
+	ref, donor, records := pipelineRecords(t, 701, 30000, 20)
+	calls := PileupCall(records, ref, 5, 0.25, 10)
+	if len(calls) == 0 {
+		t.Fatal("pileup caller found nothing")
+	}
+	var truthSNVs []vcf.Record
+	for _, v := range donor.Truth.Variants {
+		if v.Type == genome.SNV {
+			truthSNVs = append(truthSNVs, vcf.Record{
+				Chrom: ref.Contigs[v.Contig].Name, Pos: v.Pos,
+				Ref: string(v.Ref), Alt: string(v.Alt),
+			})
+		}
+	}
+	stats := vcf.Compare(calls, truthSNVs, 0)
+	if stats.Recall() < 0.5 {
+		t.Fatalf("pileup recall %.2f (TP=%d FN=%d)", stats.Recall(), stats.TruePositive, stats.FalseNegative)
+	}
+}
+
+func TestHaplotypeCallerBeatsPileupOnIndels(t *testing.T) {
+	ref, donor, records := pipelineRecords(t, 801, 40000, 20)
+	hcCalls := CallVariants(records, ref, DefaultConfig())
+	puCalls := PileupCall(records, ref, 5, 0.25, 10)
+	var truthIndels []vcf.Record
+	for _, v := range donor.Truth.Variants {
+		if v.Type != genome.SNV {
+			truthIndels = append(truthIndels, vcf.Record{
+				Chrom: ref.Contigs[v.Contig].Name, Pos: v.Pos,
+				Ref: string(v.Ref), Alt: string(v.Alt),
+			})
+		}
+	}
+	if len(truthIndels) == 0 {
+		t.Skip("no indels injected")
+	}
+	hc := vcf.Compare(hcCalls, truthIndels, 3)
+	pu := vcf.Compare(puCalls, truthIndels, 3)
+	if hc.TruePositive <= pu.TruePositive {
+		t.Fatalf("haplotype caller indel TP %d should exceed pileup %d",
+			hc.TruePositive, pu.TruePositive)
+	}
+}
+
+func BenchmarkPairHMM(b *testing.B) {
+	hap := bytes.Repeat([]byte("ACGTGCTAAGGTC"), 20) // 260 bp haplotype
+	read := hap[50:150]
+	qual := bytes.Repeat([]byte("I"), len(read))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PairHMMLogLikelihood(read, qual, hap)
+	}
+}
+
+func BenchmarkAssembleHaplotypes(b *testing.B) {
+	ref := genome.Synthesize(genome.DefaultSynthConfig(901, 4000, 1))
+	window := ref.Contigs[0].Seq[500:800]
+	var reads [][]byte
+	for i := 0; i+80 <= len(window); i += 7 {
+		reads = append(reads, window[i:i+80])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		assembleHaplotypes(window, reads, 19, 8, 2)
+	}
+}

@@ -1,0 +1,347 @@
+package caller
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/gpf-go/gpf/internal/align"
+	"github.com/gpf-go/gpf/internal/genome"
+	"github.com/gpf-go/gpf/internal/sam"
+	"github.com/gpf-go/gpf/internal/vcf"
+)
+
+// hapVariant is a variant implied by a haplotype relative to the reference
+// window (coordinates are reference-absolute).
+type hapVariant struct {
+	pos      int
+	ref, alt string
+}
+
+// variantsFromHaplotype aligns hap against the reference window and extracts
+// SNVs and indels in VCF representation (indels anchored on the previous
+// reference base).
+func variantsFromHaplotype(hap, refWindow []byte, windowStart int, sc align.Scoring) []hapVariant {
+	_, refStart, cigar := align.FitAlign(hap, refWindow, sc)
+	var out []hapVariant
+	hapPos, refPos := 0, refStart
+	for _, op := range cigar {
+		switch op.Op {
+		case 'M', '=', 'X':
+			for k := 0; k < op.Len; k++ {
+				if hap[hapPos+k] != refWindow[refPos+k] {
+					out = append(out, hapVariant{
+						pos: windowStart + refPos + k,
+						ref: string(refWindow[refPos+k]),
+						alt: string(hap[hapPos+k]),
+					})
+				}
+			}
+			hapPos += op.Len
+			refPos += op.Len
+		case 'I':
+			if refPos > 0 {
+				anchor := refWindow[refPos-1]
+				out = append(out, hapVariant{
+					pos: windowStart + refPos - 1,
+					ref: string(anchor),
+					alt: string(anchor) + string(hap[hapPos:hapPos+op.Len]),
+				})
+			}
+			hapPos += op.Len
+		case 'D':
+			if refPos > 0 {
+				anchor := refWindow[refPos-1]
+				out = append(out, hapVariant{
+					pos: windowStart + refPos - 1,
+					ref: string(anchor) + string(refWindow[refPos:refPos+op.Len]),
+					alt: string(anchor),
+				})
+			}
+			refPos += op.Len
+		}
+	}
+	return out
+}
+
+// regionRead is one read overlapping an active region.
+type regionRead struct {
+	seq  []byte
+	qual []byte
+}
+
+// CallRegion genotypes one active region: assemble haplotypes from the
+// overlapping reads, score reads against haplotypes with the pair-HMM, pick
+// the maximum-likelihood diploid haplotype pair, and emit the variants it
+// implies.
+func CallRegion(records []sam.Record, ref *genome.Reference, region genome.Interval, cfg Config) []vcf.Record {
+	contig := ref.Contig(region.Contig)
+	if contig == nil {
+		return nil
+	}
+	winStart := region.Start - cfg.RegionPad
+	if winStart < 0 {
+		winStart = 0
+	}
+	winEnd := region.End + cfg.RegionPad
+	if winEnd > contig.Len() {
+		winEnd = contig.Len()
+	}
+	refWindow := contig.Seq[winStart:winEnd]
+	if hasN(refWindow) {
+		return nil // assembly anchors require clean reference k-mers
+	}
+
+	// Gather overlapping, usable reads.
+	var reads []regionRead
+	var readSeqs [][]byte
+	for i := range records {
+		r := &records[i]
+		if r.Unmapped() || r.Duplicate() || len(r.Seq) == 0 {
+			continue
+		}
+		if int(r.RefID) != region.Contig {
+			continue
+		}
+		if int(r.End()) <= winStart || int(r.Pos) >= winEnd {
+			continue
+		}
+		reads = append(reads, regionRead{seq: r.Seq, qual: r.Qual})
+		readSeqs = append(readSeqs, r.Seq)
+	}
+	if len(reads) == 0 {
+		return nil
+	}
+	// Downsample pileups: keep a deterministic stride sample so the
+	// pair-HMM cost per region is bounded regardless of coverage spikes.
+	if cap := cfg.MaxReadsPerRegion; cap > 0 && len(reads) > cap {
+		stride := float64(len(reads)) / float64(cap)
+		sampled := make([]regionRead, 0, cap)
+		sampledSeqs := make([][]byte, 0, cap)
+		for i := 0; i < cap; i++ {
+			j := int(float64(i) * stride)
+			sampled = append(sampled, reads[j])
+			sampledSeqs = append(sampledSeqs, readSeqs[j])
+		}
+		reads, readSeqs = sampled, sampledSeqs
+	}
+
+	haps := assembleHaplotypes(refWindow, readSeqs, cfg.K, cfg.MaxHaplotypes, 2)
+	if len(haps) == 1 {
+		return nil // only the reference haplotype: nothing to call
+	}
+
+	// Likelihood matrix: L[read][hap].
+	L := make([][]float64, len(reads))
+	for i, rd := range reads {
+		L[i] = make([]float64, len(haps))
+		for h, hap := range haps {
+			L[i][h] = PairHMMLogLikelihood(rd.seq, rd.qual, hap)
+		}
+	}
+
+	// Diploid genotyping over haplotype pairs (h1 <= h2).
+	bestH1, bestH2 := 0, 0
+	bestLL := math.Inf(-1)
+	var homRefLL float64
+	ln2 := math.Log(2)
+	for h1 := 0; h1 < len(haps); h1++ {
+		for h2 := h1; h2 < len(haps); h2++ {
+			ll := 0.0
+			for i := range reads {
+				ll += logSumExp2(L[i][h1], L[i][h2]) - ln2
+			}
+			if h1 == 0 && h2 == 0 {
+				homRefLL = ll
+			}
+			if ll > bestLL {
+				bestLL, bestH1, bestH2 = ll, h1, h2
+			}
+		}
+	}
+	if bestH1 == 0 && bestH2 == 0 {
+		return nil
+	}
+	qual := 10 * (bestLL - homRefLL) / math.Ln10
+	if qual < cfg.MinQual {
+		return nil
+	}
+	if qual > 3000 {
+		qual = 3000
+	}
+
+	// Variants on each chosen haplotype.
+	sc := align.DefaultScoring()
+	v1 := map[string]hapVariant{}
+	v2 := map[string]hapVariant{}
+	key := func(v hapVariant) string { return fmt.Sprintf("%d:%s>%s", v.pos, v.ref, v.alt) }
+	if bestH1 != 0 {
+		for _, v := range variantsFromHaplotype(haps[bestH1], refWindow, winStart, sc) {
+			v1[key(v)] = v
+		}
+	}
+	if bestH2 != 0 {
+		for _, v := range variantsFromHaplotype(haps[bestH2], refWindow, winStart, sc) {
+			v2[key(v)] = v
+		}
+	}
+	union := map[string]hapVariant{}
+	for k, v := range v1 {
+		union[k] = v
+	}
+	for k, v := range v2 {
+		union[k] = v
+	}
+	var out []vcf.Record
+	for k, v := range union {
+		gt := vcf.Het
+		if _, in1 := v1[k]; in1 {
+			if _, in2 := v2[k]; in2 {
+				gt = vcf.HomAlt
+			}
+		}
+		// Variants only inside the (unpadded) active region to avoid edge
+		// artifacts from assembly anchoring.
+		if v.pos < region.Start || v.pos >= region.End {
+			continue
+		}
+		out = append(out, vcf.Record{
+			Chrom: contig.Name,
+			Pos:   v.pos,
+			Ref:   v.ref,
+			Alt:   v.alt,
+			Qual:  qual,
+			GT:    gt,
+			Depth: len(reads),
+		})
+	}
+	vcf.SortRecords(out)
+	return out
+}
+
+// CallVariants runs active-region detection and per-region genotyping over a
+// partition of records, returning sorted VCF records. It is the body of the
+// HaplotypeCallerProcess.
+func CallVariants(records []sam.Record, ref *genome.Reference, cfg Config) []vcf.Record {
+	return CallVariantsFiltered(records, ref, cfg, nil)
+}
+
+// CallVariantsFiltered is CallVariants restricted to active regions for
+// which keep returns true. Partitioned execution passes an ownership filter
+// so a region overlapping several partition pads is genotyped exactly once —
+// by the partition whose core interval contains its midpoint — keeping the
+// expensive pair-HMM work proportional to owned territory.
+func CallVariantsFiltered(records []sam.Record, ref *genome.Reference, cfg Config, keep func(genome.Interval) bool) []vcf.Record {
+	regions := FindActiveRegions(records, ref, cfg)
+	var out []vcf.Record
+	for _, region := range regions {
+		if keep != nil && !keep(region) {
+			continue
+		}
+		out = append(out, CallRegion(records, ref, region, cfg)...)
+	}
+	// Deduplicate variants discovered from overlapping regions.
+	vcf.SortRecords(out)
+	dedup := out[:0]
+	for i, r := range out {
+		if i > 0 {
+			p := dedup[len(dedup)-1]
+			if p.Chrom == r.Chrom && p.Pos == r.Pos && p.Ref == r.Ref && p.Alt == r.Alt {
+				continue
+			}
+		}
+		dedup = append(dedup, r)
+	}
+	return dedup
+}
+
+// PileupCall is the simple statistical baseline: per-position allele counts
+// with a binomial-style threshold. It catches SNVs only and serves as the
+// comparator caller for the baseline pipelines.
+func PileupCall(records []sam.Record, ref *genome.Reference, minDepth int, minFrac float64, minBaseQual int) []vcf.Record {
+	type cell struct {
+		depth int
+		alt   map[byte]int
+	}
+	cells := map[genome.Position]*cell{}
+	for i := range records {
+		r := &records[i]
+		if r.Unmapped() || r.Duplicate() || len(r.Seq) == 0 {
+			continue
+		}
+		contig := int(r.RefID)
+		refSeq := ref.Contig(contig)
+		if refSeq == nil {
+			continue
+		}
+		readPos, refPos := 0, int(r.Pos)
+		for _, op := range r.Cigar {
+			switch op.Op {
+			case 'M', '=', 'X':
+				for k := 0; k < op.Len; k++ {
+					rp := refPos + k
+					if rp < 0 || rp >= len(refSeq.Seq) || readPos+k >= len(r.Seq) {
+						continue
+					}
+					if int(r.Qual[readPos+k])-33 < minBaseQual {
+						continue
+					}
+					key := genome.Position{Contig: contig, Pos: rp}
+					c := cells[key]
+					if c == nil {
+						c = &cell{alt: map[byte]int{}}
+						cells[key] = c
+					}
+					c.depth++
+					if b := r.Seq[readPos+k]; b != refSeq.Seq[rp] && b != 'N' {
+						c.alt[b]++
+					}
+				}
+				readPos += op.Len
+				refPos += op.Len
+			case 'I', 'S':
+				readPos += op.Len
+			case 'D', 'N':
+				refPos += op.Len
+			}
+		}
+	}
+	var out []vcf.Record
+	for pos, c := range cells {
+		if c.depth < minDepth {
+			continue
+		}
+		var bestAlt byte
+		bestCount := 0
+		for b, n := range c.alt {
+			if n > bestCount || (n == bestCount && b < bestAlt) {
+				bestAlt, bestCount = b, n
+			}
+		}
+		frac := float64(bestCount) / float64(c.depth)
+		if bestCount == 0 || frac < minFrac {
+			continue
+		}
+		gt := vcf.Het
+		if frac > 0.8 {
+			gt = vcf.HomAlt
+		}
+		refSeq := ref.Contig(pos.Contig)
+		out = append(out, vcf.Record{
+			Chrom: refSeq.Name,
+			Pos:   pos.Pos,
+			Ref:   string(refSeq.Seq[pos.Pos]),
+			Alt:   string(bestAlt),
+			Qual:  float64(10 * bestCount),
+			GT:    gt,
+			Depth: c.depth,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Chrom != out[j].Chrom {
+			return out[i].Chrom < out[j].Chrom
+		}
+		return out[i].Pos < out[j].Pos
+	})
+	return out
+}

@@ -1,0 +1,435 @@
+package cleaner
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/align"
+	"github.com/gpf-go/gpf/internal/fastq"
+	"github.com/gpf-go/gpf/internal/genome"
+	"github.com/gpf-go/gpf/internal/sam"
+)
+
+func mkRecord(name string, pos int32, rev bool, qual byte, n int) sam.Record {
+	cigar, _ := sam.ParseCigar("50M")
+	flag := uint16(sam.FlagPaired)
+	if rev {
+		flag |= sam.FlagReverse
+	}
+	r := sam.Record{
+		Name: name, Flag: flag, RefID: 0, Pos: pos, MapQ: 60, Cigar: cigar,
+		MateRef: 0, MatePos: pos + 200,
+		Seq: bytes.Repeat([]byte("A"), n), Qual: bytes.Repeat([]byte{qual}, n),
+	}
+	return r
+}
+
+func TestMarkDuplicatesBasic(t *testing.T) {
+	recs := []sam.Record{
+		mkRecord("a", 100, false, 'I', 50), // dup group 1: higher quality wins
+		mkRecord("b", 100, false, '5', 50),
+		mkRecord("c", 300, false, 'I', 50), // unique
+	}
+	marked := MarkDuplicates(recs)
+	if marked != 1 {
+		t.Fatalf("marked = %d, want 1", marked)
+	}
+	if recs[0].Duplicate() {
+		t.Fatal("highest-quality read must survive")
+	}
+	if !recs[1].Duplicate() {
+		t.Fatal("lower-quality read must be marked")
+	}
+	if recs[2].Duplicate() {
+		t.Fatal("unique read must not be marked")
+	}
+}
+
+func TestMarkDuplicatesStrandAware(t *testing.T) {
+	fwd := mkRecord("f", 100, false, 'I', 50)
+	rev := mkRecord("r", 100, true, 'I', 50)
+	recs := []sam.Record{fwd, rev}
+	if marked := MarkDuplicates(recs); marked != 0 {
+		t.Fatalf("opposite strands are not duplicates; marked %d", marked)
+	}
+}
+
+func TestMarkDuplicatesClippingInvariant(t *testing.T) {
+	// A soft-clipped read whose unclipped start equals another's start is a
+	// duplicate (the reason Picard keys on unclipped coordinates).
+	plain := mkRecord("p", 100, false, 'I', 50)
+	clipped := mkRecord("c", 105, false, '5', 50)
+	cg, _ := sam.ParseCigar("5S45M")
+	clipped.Cigar = cg              // unclipped start = 100
+	clipped.MatePos = plain.MatePos // same fragment, same mate
+	recs := []sam.Record{plain, clipped}
+	if marked := MarkDuplicates(recs); marked != 1 {
+		t.Fatalf("clipped duplicate not detected; marked = %d", marked)
+	}
+	if recs[1].Duplicate() != true {
+		t.Fatal("lower-quality clipped read should be marked")
+	}
+}
+
+func TestMarkDuplicatesLibraryScoped(t *testing.T) {
+	a := mkRecord("a", 100, false, 'I', 50)
+	b := mkRecord("b", 100, false, 'I', 50)
+	a.Tags = map[string]string{"LB": "lib1"}
+	b.Tags = map[string]string{"LB": "lib2"}
+	recs := []sam.Record{a, b}
+	if marked := MarkDuplicates(recs); marked != 0 {
+		t.Fatalf("different libraries are not duplicates; marked %d", marked)
+	}
+}
+
+func TestMarkDuplicatesIgnoresUnmapped(t *testing.T) {
+	u := sam.Record{Name: "u", Flag: sam.FlagUnmapped, RefID: -1, Pos: -1}
+	recs := []sam.Record{u, u}
+	if marked := MarkDuplicates(recs); marked != 0 {
+		t.Fatalf("unmapped reads must be ignored; marked %d", marked)
+	}
+}
+
+func TestMarkDuplicatesUnmarksStale(t *testing.T) {
+	// A record previously marked duplicate but now unique must be cleared.
+	r := mkRecord("a", 100, false, 'I', 50)
+	r.SetDuplicate(true)
+	recs := []sam.Record{r}
+	MarkDuplicates(recs)
+	if recs[0].Duplicate() {
+		t.Fatal("stale duplicate flag not cleared")
+	}
+}
+
+func TestMarkDuplicatesDeterministicTie(t *testing.T) {
+	a := mkRecord("aaa", 100, false, 'I', 50)
+	b := mkRecord("bbb", 100, false, 'I', 50)
+	for trial := 0; trial < 3; trial++ {
+		recs := []sam.Record{a, b}
+		MarkDuplicates(recs)
+		if recs[0].Duplicate() || !recs[1].Duplicate() {
+			t.Fatal("tie-break must deterministically keep the earlier name")
+		}
+	}
+}
+
+func TestMarkDuplicatesEndToEnd(t *testing.T) {
+	// Simulated data with a high duplicate rate: the marker should find a
+	// comparable fraction.
+	ref := genome.Synthesize(genome.DefaultSynthConfig(41, 60000, 1))
+	donor := genome.Mutate(ref, genome.DefaultMutateConfig(42))
+	cfg := fastq.DefaultSimConfig(43, 8)
+	cfg.DuplicateRate = 0.3
+	pairs := fastq.Simulate(donor, cfg)
+	idx, err := align.BuildFMIndex(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligner := align.NewAligner(idx, align.Config{})
+	var records []sam.Record
+	if len(pairs) > 150 {
+		pairs = pairs[:150]
+	}
+	for i := range pairs {
+		r1, r2 := aligner.AlignPair(&pairs[i])
+		records = append(records, r1, r2)
+	}
+	marked := MarkDuplicates(records)
+	// ~30% of fragments duplicated => expect roughly 150*0.3/1.3 pairs = ~34
+	// dup pairs = ~69 dup reads; allow a broad band.
+	if marked < 20 {
+		t.Fatalf("marked only %d duplicates in high-duplication data", marked)
+	}
+	if marked > len(records)/2 {
+		t.Fatalf("marked %d of %d records; too many", marked, len(records))
+	}
+}
+
+func TestSortByCoordinate(t *testing.T) {
+	recs := []sam.Record{
+		mkRecord("b", 500, false, 'I', 10),
+		mkRecord("a", 100, false, 'I', 10),
+		{Name: "u", Flag: sam.FlagUnmapped, RefID: -1, Pos: -1},
+	}
+	SortByCoordinate(recs)
+	if recs[0].Pos != 100 || recs[1].Pos != 500 || recs[2].RefID != -1 {
+		t.Fatalf("sort order: %v %v %v", recs[0].Pos, recs[1].Pos, recs[2].RefID)
+	}
+}
+
+func refWithIndelReads(t *testing.T) (*genome.Reference, []sam.Record) {
+	t.Helper()
+	ref := genome.Synthesize(genome.DefaultSynthConfig(51, 20000, 1))
+	seq := ref.Contigs[0].Seq
+	pos := 1000
+	// Build a read matching the reference but with a 3-base deletion after
+	// 20 bases, as a correctly-realigned read would look.
+	read := make([]byte, 0, 50)
+	read = append(read, seq[pos:pos+20]...)
+	read = append(read, seq[pos+23:pos+53]...)
+	good, _ := sam.ParseCigar("20M3D30M")
+	bad, _ := sam.ParseCigar("50M") // misaligned placement of the same read
+	records := []sam.Record{
+		{Name: "indel", Flag: 0, RefID: 0, Pos: int32(pos), MapQ: 60, Cigar: good,
+			Seq: read, Qual: bytes.Repeat([]byte("I"), 50)},
+		{Name: "mis", Flag: 0, RefID: 0, Pos: int32(pos), MapQ: 40, Cigar: bad,
+			Seq: append([]byte(nil), read...), Qual: bytes.Repeat([]byte("I"), 50)},
+	}
+	return ref, records
+}
+
+func TestFindTargetIntervals(t *testing.T) {
+	_, records := refWithIndelReads(t)
+	ivs := FindTargetIntervals(records)
+	if len(ivs) != 1 {
+		t.Fatalf("intervals = %v", ivs)
+	}
+	if ivs[0].Start != 1000 || ivs[0].End != 1053 {
+		t.Fatalf("interval = %+v", ivs[0])
+	}
+	// Duplicates and unmapped reads contribute nothing.
+	records[0].SetDuplicate(true)
+	records[1].Flag |= sam.FlagUnmapped
+	if got := FindTargetIntervals(records); got != nil {
+		t.Fatalf("filtered reads still produced %v", got)
+	}
+}
+
+func TestRealignIndelsRepairsMisalignment(t *testing.T) {
+	ref, records := refWithIndelReads(t)
+	sc := align.DefaultScoring()
+	before := impliedScore(&records[1], ref, sc)
+	stats := RealignIndels(records, ref, sc)
+	if stats.Targets != 1 {
+		t.Fatalf("targets = %d", stats.Targets)
+	}
+	if stats.Realigned == 0 {
+		t.Fatal("misaligned read not realigned")
+	}
+	after := impliedScore(&records[1], ref, sc)
+	if after <= before {
+		t.Fatalf("score did not improve: %d -> %d", before, after)
+	}
+	if !records[1].Cigar.HasIndel() {
+		t.Fatalf("realigned CIGAR %s should contain the deletion", records[1].Cigar)
+	}
+}
+
+func TestRealignIndelsNoTargetsNoChange(t *testing.T) {
+	ref := genome.Synthesize(genome.DefaultSynthConfig(53, 10000, 1))
+	seq := ref.Contigs[0].Seq
+	cg, _ := sam.ParseCigar("50M")
+	rec := sam.Record{Name: "clean", RefID: 0, Pos: 100, Cigar: cg,
+		Seq: append([]byte(nil), seq[100:150]...), Qual: bytes.Repeat([]byte("I"), 50)}
+	records := []sam.Record{rec}
+	stats := RealignIndels(records, ref, align.DefaultScoring())
+	if stats.Targets != 0 || stats.Realigned != 0 {
+		t.Fatalf("clean data realigned: %+v", stats)
+	}
+	if records[0].Pos != 100 {
+		t.Fatal("record must be untouched")
+	}
+}
+
+func TestImpliedScore(t *testing.T) {
+	ref := genome.NewReference([]genome.Contig{{Name: "c", Seq: []byte("ACGTACGTACGT")}})
+	cg, _ := sam.ParseCigar("4M")
+	r := sam.Record{RefID: 0, Pos: 0, Cigar: cg, Seq: []byte("ACGT"), Qual: []byte("IIII")}
+	sc := align.DefaultScoring()
+	if got := impliedScore(&r, ref, sc); got != 4 {
+		t.Fatalf("perfect 4M score = %d", got)
+	}
+	r.Seq = []byte("ACGA") // one mismatch
+	if got := impliedScore(&r, ref, sc); got != 3-4 {
+		t.Fatalf("mismatch score = %d", got)
+	}
+}
+
+// buildTestAlignments creates aligned records over a reference with a known
+// error profile for BQSR tests.
+func buildTestAlignments(t *testing.T, seed int64, coverage float64) (*genome.Reference, *genome.Donor, []sam.Record) {
+	t.Helper()
+	ref := genome.Synthesize(genome.DefaultSynthConfig(seed, 50000, 1))
+	donor := genome.Mutate(ref, genome.DefaultMutateConfig(seed+1))
+	pairs := fastq.Simulate(donor, fastq.DefaultSimConfig(seed+2, coverage))
+	idx, err := align.BuildFMIndex(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aligner := align.NewAligner(idx, align.Config{})
+	var records []sam.Record
+	if len(pairs) > 300 {
+		pairs = pairs[:300]
+	}
+	for i := range pairs {
+		r1, r2 := aligner.AlignPair(&pairs[i])
+		records = append(records, r1, r2)
+	}
+	return ref, donor, records
+}
+
+func TestBQSRTableCountsErrors(t *testing.T) {
+	ref, donor, records := buildTestAlignments(t, 61, 6)
+	known := func(contig, pos int) bool {
+		return len(donor.Truth.Find(contig, pos, pos+1)) > 0
+	}
+	table := BuildRecalTable(records, ref, known)
+	if table.Global.Obs == 0 {
+		t.Fatal("no observations counted")
+	}
+	if table.Global.Errs == 0 {
+		t.Fatal("no errors counted despite simulated sequencing errors")
+	}
+	rate := float64(table.Global.Errs) / float64(table.Global.Obs)
+	// Simulated error rates are quality-driven (~Q30 mean => ~1e-3), plus
+	// alignment noise; accept a broad plausible band.
+	if rate < 1e-5 || rate > 0.05 {
+		t.Fatalf("global error rate %.5f implausible", rate)
+	}
+}
+
+func TestBQSRKnownSitesExcluded(t *testing.T) {
+	ref, donor, records := buildTestAlignments(t, 71, 6)
+	known := func(contig, pos int) bool {
+		return len(donor.Truth.Find(contig, pos, pos+1)) > 0
+	}
+	withMask := BuildRecalTable(records, ref, known)
+	noMask := BuildRecalTable(records, ref, nil)
+	// Without masking, true variants count as "errors", inflating the rate.
+	rateMasked := float64(withMask.Global.Errs) / float64(withMask.Global.Obs)
+	rateRaw := float64(noMask.Global.Errs) / float64(noMask.Global.Obs)
+	if rateRaw <= rateMasked {
+		t.Fatalf("masking should lower the error rate: masked=%.5f raw=%.5f", rateMasked, rateRaw)
+	}
+}
+
+func TestBQSRMergeAssociative(t *testing.T) {
+	ref, _, records := buildTestAlignments(t, 81, 6)
+	mid := len(records) / 2
+	t1 := BuildRecalTable(records[:mid], ref, nil)
+	t2 := BuildRecalTable(records[mid:], ref, nil)
+	whole := BuildRecalTable(records, ref, nil)
+	merged := (&RecalTable{}).Merge(t1).Merge(t2)
+	if merged.Global != whole.Global {
+		t.Fatalf("merge mismatch: %+v vs %+v", merged.Global, whole.Global)
+	}
+	for i := range merged.ByQual {
+		if merged.ByQual[i] != whole.ByQual[i] {
+			t.Fatalf("qual bin %d mismatch", i)
+		}
+	}
+	if (&RecalTable{}).Merge(nil) == nil {
+		t.Fatal("merge with nil should return receiver")
+	}
+}
+
+func TestBQSRApplyMovesQualitiesTowardTruth(t *testing.T) {
+	ref, donor, records := buildTestAlignments(t, 91, 8)
+	known := func(contig, pos int) bool {
+		return len(donor.Truth.Find(contig, pos, pos+1)) > 0
+	}
+	table := BuildRecalTable(records, ref, known)
+	// Copy pre-recalibration qualities.
+	pre := make([][]byte, len(records))
+	for i := range records {
+		pre[i] = append([]byte(nil), records[i].Qual...)
+	}
+	if err := ApplyRecalibration(records, table); err != nil {
+		t.Fatal(err)
+	}
+	changed := false
+	for i := range records {
+		if !bytes.Equal(pre[i], records[i].Qual) {
+			changed = true
+		}
+		if len(records[i].Qual) != len(records[i].Seq) {
+			t.Fatal("qual length changed")
+		}
+		for _, q := range records[i].Qual {
+			if q < 33 || q > 126 {
+				t.Fatalf("recalibrated quality %d out of range", q)
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("recalibration changed nothing")
+	}
+}
+
+func TestApplyRecalibrationNilTable(t *testing.T) {
+	if err := ApplyRecalibration(nil, nil); err == nil {
+		t.Fatal("nil table must error")
+	}
+}
+
+func TestEmpiricalQualBounds(t *testing.T) {
+	if q := (counter{Obs: 0, Errs: 0}).empiricalQual(); q < 1 || q > 60 {
+		t.Fatalf("empty counter qual = %v", q)
+	}
+	// All errors -> very low quality.
+	if q := (counter{Obs: 1000, Errs: 1000}).empiricalQual(); q > 1.1 {
+		t.Fatalf("all-error qual = %v", q)
+	}
+	// No errors in many observations -> high quality.
+	if q := (counter{Obs: 1_000_000, Errs: 0}).empiricalQual(); q < 50 {
+		t.Fatalf("clean qual = %v", q)
+	}
+}
+
+func TestContextBin(t *testing.T) {
+	if contextBin('A', 'A') != 0 || contextBin('T', 'T') != 15 {
+		t.Fatal("corner bins wrong")
+	}
+	if contextBin('N', 'A') != -1 || contextBin('A', 'N') != -1 {
+		t.Fatal("N context must be -1")
+	}
+}
+
+func TestCycleBin(t *testing.T) {
+	if cycleBin(-5) != 0 || cycleBin(0) != 0 || cycleBin(maxCycle+10) != maxCycle-1 {
+		t.Fatal("cycle clamping broken")
+	}
+}
+
+func BenchmarkMarkDuplicates(b *testing.B) {
+	ref := genome.Synthesize(genome.DefaultSynthConfig(41, 60000, 1))
+	donor := genome.Mutate(ref, genome.DefaultMutateConfig(42))
+	cfg := fastq.DefaultSimConfig(43, 10)
+	cfg.DuplicateRate = 0.2
+	pairs := fastq.Simulate(donor, cfg)
+	idx, err := align.BuildFMIndex(ref)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aligner := align.NewAligner(idx, align.Config{})
+	var records []sam.Record
+	for i := range pairs {
+		r1, r2 := aligner.AlignPair(&pairs[i])
+		records = append(records, r1, r2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recs := append([]sam.Record(nil), records...)
+		MarkDuplicates(recs)
+	}
+}
+
+func BenchmarkBuildRecalTable(b *testing.B) {
+	ref := genome.Synthesize(genome.DefaultSynthConfig(61, 50000, 1))
+	donor := genome.Mutate(ref, genome.DefaultMutateConfig(62))
+	pairs := fastq.Simulate(donor, fastq.DefaultSimConfig(63, 8))
+	idx, err := align.BuildFMIndex(ref)
+	if err != nil {
+		b.Fatal(err)
+	}
+	aligner := align.NewAligner(idx, align.Config{})
+	var records []sam.Record
+	for i := range pairs {
+		r1, r2 := aligner.AlignPair(&pairs[i])
+		records = append(records, r1, r2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildRecalTable(records, ref, nil)
+	}
+}

@@ -1,0 +1,123 @@
+package cleaner
+
+import (
+	"github.com/gpf-go/gpf/internal/align"
+	"github.com/gpf-go/gpf/internal/genome"
+	"github.com/gpf-go/gpf/internal/sam"
+)
+
+// Indel realignment (GATK IndelRealigner equivalent): detect intervals where
+// read alignments disagree around candidate indels, then locally re-fit the
+// overlapping reads so that a consistent placement is used — repairing the
+// alignment artifacts that otherwise surface as false SNVs near indels.
+
+// realignPad is the reference flank around a target interval used when
+// re-fitting reads.
+const realignPad = 25
+
+// FindTargetIntervals scans records for realignment candidates: any aligned
+// read whose CIGAR contains an indel contributes its covered span. Adjacent
+// candidates merge into intervals.
+func FindTargetIntervals(records []sam.Record) []genome.Interval {
+	var ivs []genome.Interval
+	for i := range records {
+		r := &records[i]
+		if r.Unmapped() || r.Duplicate() || !r.Cigar.HasIndel() {
+			continue
+		}
+		ivs = append(ivs, genome.Interval{
+			Contig: int(r.RefID),
+			Start:  int(r.Pos),
+			End:    int(r.End()),
+		})
+	}
+	return genome.MergeIntervals(ivs)
+}
+
+// RealignStats summarizes one realignment pass.
+type RealignStats struct {
+	Targets   int
+	Realigned int
+}
+
+// RealignIndels re-fits reads overlapping each target interval against the
+// reference window and adopts the new placement when it scores strictly
+// better than the current alignment's implied score. Records are modified in
+// place; the returned stats count affected reads.
+func RealignIndels(records []sam.Record, ref *genome.Reference, sc align.Scoring) RealignStats {
+	targets := FindTargetIntervals(records)
+	stats := RealignStats{Targets: len(targets)}
+	if len(targets) == 0 {
+		return stats
+	}
+	for i := range records {
+		r := &records[i]
+		if r.Unmapped() || r.Duplicate() || len(r.Seq) == 0 {
+			continue
+		}
+		span := genome.Interval{Contig: int(r.RefID), Start: int(r.Pos), End: int(r.End())}
+		inTarget := false
+		for _, t := range targets {
+			if t.Overlaps(span) {
+				inTarget = true
+				break
+			}
+		}
+		if !inTarget {
+			continue
+		}
+		curScore := impliedScore(r, ref, sc)
+		winStart := int(r.Pos) - realignPad
+		if winStart < 0 {
+			winStart = 0
+		}
+		winEnd := int(r.End()) + realignPad
+		window := ref.Slice(int(r.RefID), winStart, winEnd)
+		if len(window) < len(r.Seq) {
+			continue
+		}
+		score, refStart, cigar := align.FitAlign(r.Seq, window, sc)
+		if score > curScore {
+			r.Pos = int32(winStart + refStart)
+			r.Cigar = cigar
+			stats.Realigned++
+		}
+	}
+	return stats
+}
+
+// impliedScore recomputes the alignment score of a record's current
+// placement by walking its CIGAR against the reference.
+func impliedScore(r *sam.Record, ref *genome.Reference, sc align.Scoring) int {
+	score := 0
+	readPos, refPos := 0, int(r.Pos)
+	for _, op := range r.Cigar {
+		switch op.Op {
+		case 'M', '=', 'X':
+			window := ref.Slice(int(r.RefID), refPos, refPos+op.Len)
+			for k := 0; k < op.Len; k++ {
+				if readPos+k >= len(r.Seq) || k >= len(window) {
+					break
+				}
+				if r.Seq[readPos+k] == window[k] && window[k] != 'N' {
+					score += sc.Match
+				} else {
+					score += sc.Mismatch
+				}
+			}
+			readPos += op.Len
+			refPos += op.Len
+		case 'I', 'S':
+			if op.Op == 'I' {
+				score += sc.GapOpen + (op.Len-1)*sc.GapExtend
+			}
+			readPos += op.Len
+		case 'D', 'N':
+			if op.Op == 'D' {
+				score += sc.GapOpen + (op.Len-1)*sc.GapExtend
+			}
+			refPos += op.Len
+		}
+	}
+	return score
+}

@@ -1,0 +1,131 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// EncodeSeqQualBlock compresses parallel batches of sequences and quality
+// strings into one byte block — the serialized form of a partition's
+// seq/qual columns. Layout:
+//
+//	uvarint recordCount
+//	recordCount × uvarint sequenceLength
+//	uvarint packedSeqBytes, then the packed 2-bit sequences (byte aligned
+//	  per record)
+//	quality block (code table + Huffman payload, see EncodeQualBlock)
+//
+// Ns are converted per Fig 4 before packing; markers flow through the
+// quality stream and are restored on decode.
+func EncodeSeqQualBlock(seqs, quals [][]byte) ([]byte, error) {
+	if len(seqs) != len(quals) {
+		return nil, fmt.Errorf("compress: %d seqs but %d quals", len(seqs), len(quals))
+	}
+	convSeqs := make([][]byte, len(seqs))
+	convQuals := make([][]byte, len(quals))
+	for i := range seqs {
+		s, q, err := convertSpecials(seqs[i], quals[i])
+		if err != nil {
+			return nil, fmt.Errorf("compress: record %d: %w", i, err)
+		}
+		convSeqs[i], convQuals[i] = s, q
+	}
+
+	out := binary.AppendUvarint(nil, uint64(len(seqs)))
+	for _, s := range convSeqs {
+		out = binary.AppendUvarint(out, uint64(len(s)))
+	}
+	totalBases := 0
+	for _, s := range convSeqs {
+		totalBases += len(s)
+	}
+	packed := make([]byte, 0, totalBases/4+len(convSeqs))
+	for i, s := range convSeqs {
+		var err error
+		packed, err = packSeq(packed, s)
+		if err != nil {
+			return nil, fmt.Errorf("compress: record %d: %w", i, err)
+		}
+	}
+	out = binary.AppendUvarint(out, uint64(len(packed)))
+	out = append(out, packed...)
+
+	qb, err := EncodeQualBlock(convQuals)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, qb...)
+	return out, nil
+}
+
+// DecodeSeqQualBlock inverts EncodeSeqQualBlock.
+func DecodeSeqQualBlock(data []byte) (seqs, quals [][]byte, err error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("compress: bad block count header")
+	}
+	data = data[n:]
+	if count > uint64(len(data))+1 {
+		return nil, nil, fmt.Errorf("compress: block count %d exceeds payload", count)
+	}
+	lengths := make([]int, count)
+	for i := range lengths {
+		l, n := binary.Uvarint(data)
+		if n <= 0 {
+			return nil, nil, fmt.Errorf("compress: bad length header for record %d", i)
+		}
+		data = data[n:]
+		// Huffman emits at least one bit per symbol and packing one byte
+		// per four bases, so the decoded size is bounded by a small
+		// multiple of the payload; anything larger marks corruption (and
+		// guards the per-record allocations below).
+		if l > uint64(8*len(data)+64) {
+			return nil, nil, fmt.Errorf("compress: record %d length %d exceeds payload bound", i, l)
+		}
+		lengths[i] = int(l)
+	}
+	totalLen := 0
+	for _, l := range lengths {
+		totalLen += l
+	}
+	if totalLen > 8*len(data)+64 {
+		return nil, nil, fmt.Errorf("compress: decoded size %d exceeds payload bound", totalLen)
+	}
+	packedLen, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("compress: bad packed-bytes header")
+	}
+	data = data[n:]
+	if uint64(len(data)) < packedLen {
+		return nil, nil, fmt.Errorf("compress: packed section truncated")
+	}
+	packed := data[:packedLen]
+	qualData := data[packedLen:]
+
+	seqs = make([][]byte, count)
+	for i, l := range lengths {
+		s, consumed, err := unpackSeq(packed, l)
+		if err != nil {
+			return nil, nil, fmt.Errorf("compress: record %d: %w", i, err)
+		}
+		seqs[i] = s
+		packed = packed[consumed:]
+	}
+	quals, err = DecodeQualBlock(qualData, lengths)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := range seqs {
+		restoreSpecials(seqs[i], quals[i])
+	}
+	return seqs, quals, nil
+}
+
+// Ratio reports original/compressed size for accounting; returns 0 when the
+// compressed size is 0.
+func Ratio(originalBytes, compressedBytes int) float64 {
+	if compressedBytes == 0 {
+		return 0
+	}
+	return float64(originalBytes) / float64(compressedBytes)
+}

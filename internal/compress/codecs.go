@@ -1,0 +1,388 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+
+	"github.com/gpf-go/gpf/internal/fastq"
+	"github.com/gpf-go/gpf/internal/sam"
+)
+
+// This file provides partition serializers used by the engine to persist
+// datasets "in serialized form" (§4.2: GPF stores each RDD partition as one
+// large byte array). Three tiers mirror the paper's comparison:
+//
+//   - GPF codecs: genomic-aware (2-bit sequences, delta+Huffman qualities).
+//   - Field codecs: fast binary field packing without genomic modeling —
+//     the stand-in for Kryo.
+//   - Gob codec: Go's generic reflective serializer — the stand-in for Java
+//     serialization.
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func readString(data []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < l {
+		return "", nil, fmt.Errorf("compress: truncated string")
+	}
+	return string(data[n : n+int(l)]), data[n+int(l):], nil
+}
+
+func appendBytes(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func readBytes(data []byte) ([]byte, []byte, error) {
+	l, n := binary.Uvarint(data)
+	if n <= 0 || uint64(len(data)-n) < l {
+		return nil, nil, fmt.Errorf("compress: truncated bytes")
+	}
+	if l == 0 {
+		return nil, data[n:], nil
+	}
+	out := make([]byte, l)
+	copy(out, data[n:n+int(l)])
+	return out, data[n+int(l):], nil
+}
+
+func readCount(data []byte, perItemMin int) (int, []byte, error) {
+	count, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("compress: bad record count")
+	}
+	rest := data[n:]
+	if perItemMin < 1 {
+		perItemMin = 1
+	}
+	// A count claiming more records than the remaining bytes could possibly
+	// hold marks a corrupted block; reject before allocating.
+	if count > uint64(len(rest)/perItemMin)+1 {
+		return 0, nil, fmt.Errorf("compress: record count %d exceeds payload", count)
+	}
+	return int(count), rest, nil
+}
+
+// GPFPairCodec serializes FASTQ pairs with the genomic codec.
+type GPFPairCodec struct{}
+
+// Name identifies the codec in metrics output.
+func (GPFPairCodec) Name() string { return "gpf" }
+
+// Marshal encodes a batch of pairs: names first, then one seq/qual block
+// covering both mates of every pair.
+func (GPFPairCodec) Marshal(pairs []fastq.Pair) ([]byte, error) {
+	out := binary.AppendUvarint(nil, uint64(len(pairs)))
+	seqs := make([][]byte, 0, 2*len(pairs))
+	quals := make([][]byte, 0, 2*len(pairs))
+	for i := range pairs {
+		out = appendString(out, pairs[i].R1.Name)
+		out = appendString(out, pairs[i].R2.Name)
+		seqs = append(seqs, pairs[i].R1.Seq, pairs[i].R2.Seq)
+		quals = append(quals, pairs[i].R1.Qual, pairs[i].R2.Qual)
+	}
+	block, err := EncodeSeqQualBlock(seqs, quals)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, block...), nil
+}
+
+// Unmarshal inverts Marshal.
+func (GPFPairCodec) Unmarshal(data []byte) ([]fastq.Pair, error) {
+	count, data, err := readCount(data, 2)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]fastq.Pair, count)
+	for i := range pairs {
+		if pairs[i].R1.Name, data, err = readString(data); err != nil {
+			return nil, err
+		}
+		if pairs[i].R2.Name, data, err = readString(data); err != nil {
+			return nil, err
+		}
+	}
+	seqs, quals, err := DecodeSeqQualBlock(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) != int(2*count) {
+		return nil, fmt.Errorf("compress: block has %d seqs, want %d", len(seqs), 2*count)
+	}
+	for i := range pairs {
+		pairs[i].R1.Seq, pairs[i].R1.Qual = seqs[2*i], quals[2*i]
+		pairs[i].R2.Seq, pairs[i].R2.Qual = seqs[2*i+1], quals[2*i+1]
+	}
+	return pairs, nil
+}
+
+// FieldPairCodec packs pair fields in binary with raw seq/qual bytes.
+type FieldPairCodec struct{}
+
+// Name identifies the codec in metrics output.
+func (FieldPairCodec) Name() string { return "field" }
+
+// Marshal encodes pairs field by field without genomic compression.
+func (FieldPairCodec) Marshal(pairs []fastq.Pair) ([]byte, error) {
+	out := binary.AppendUvarint(nil, uint64(len(pairs)))
+	for i := range pairs {
+		for _, r := range []*fastq.Record{&pairs[i].R1, &pairs[i].R2} {
+			out = appendString(out, r.Name)
+			out = appendBytes(out, r.Seq)
+			out = appendBytes(out, r.Qual)
+		}
+	}
+	return out, nil
+}
+
+// Unmarshal inverts Marshal.
+func (FieldPairCodec) Unmarshal(data []byte) ([]fastq.Pair, error) {
+	count, data, err := readCount(data, 2)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([]fastq.Pair, count)
+	for i := range pairs {
+		for _, r := range []*fastq.Record{&pairs[i].R1, &pairs[i].R2} {
+			if r.Name, data, err = readString(data); err != nil {
+				return nil, err
+			}
+			if r.Seq, data, err = readBytes(data); err != nil {
+				return nil, err
+			}
+			if r.Qual, data, err = readBytes(data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pairs, nil
+}
+
+// GPFSAMCodec serializes SAM records with the genomic codec for seq/qual and
+// binary packing for alignment fields.
+type GPFSAMCodec struct{}
+
+// Name identifies the codec in metrics output.
+func (GPFSAMCodec) Name() string { return "gpf" }
+
+func appendSAMFixed(out []byte, r *sam.Record) []byte {
+	out = appendString(out, r.Name)
+	out = binary.AppendUvarint(out, uint64(r.Flag))
+	out = binary.AppendVarint(out, int64(r.RefID))
+	out = binary.AppendVarint(out, int64(r.Pos))
+	out = append(out, r.MapQ)
+	out = binary.AppendUvarint(out, uint64(len(r.Cigar)))
+	for _, op := range r.Cigar {
+		out = binary.AppendUvarint(out, uint64(op.Len))
+		out = append(out, op.Op)
+	}
+	out = binary.AppendVarint(out, int64(r.MateRef))
+	out = binary.AppendVarint(out, int64(r.MatePos))
+	out = binary.AppendVarint(out, int64(r.TempLen))
+	out = binary.AppendUvarint(out, uint64(len(r.Tags)))
+	for k, v := range r.Tags {
+		out = appendString(out, k)
+		out = appendString(out, v)
+	}
+	return out
+}
+
+func readSAMFixed(data []byte, r *sam.Record) ([]byte, error) {
+	var err error
+	if r.Name, data, err = readString(data); err != nil {
+		return nil, err
+	}
+	flag, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("compress: bad flag")
+	}
+	r.Flag = uint16(flag)
+	data = data[n:]
+	readV := func() (int64, error) {
+		v, n := binary.Varint(data)
+		if n <= 0 {
+			return 0, fmt.Errorf("compress: truncated varint")
+		}
+		data = data[n:]
+		return v, nil
+	}
+	var v int64
+	if v, err = readV(); err != nil {
+		return nil, err
+	}
+	r.RefID = int32(v)
+	if v, err = readV(); err != nil {
+		return nil, err
+	}
+	r.Pos = int32(v)
+	if len(data) < 1 {
+		return nil, fmt.Errorf("compress: truncated mapq")
+	}
+	r.MapQ = data[0]
+	data = data[1:]
+	nOps, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("compress: bad cigar count")
+	}
+	data = data[n:]
+	if nOps > uint64(len(data)) {
+		return nil, fmt.Errorf("compress: cigar count %d exceeds payload", nOps)
+	}
+	if nOps > 0 {
+		r.Cigar = make(sam.Cigar, nOps)
+		for i := range r.Cigar {
+			l, n := binary.Uvarint(data)
+			if n <= 0 || len(data) < n+1 {
+				return nil, fmt.Errorf("compress: truncated cigar")
+			}
+			r.Cigar[i] = sam.CigarOp{Len: int(l), Op: data[n]}
+			data = data[n+1:]
+		}
+	} else {
+		r.Cigar = nil
+	}
+	if v, err = readV(); err != nil {
+		return nil, err
+	}
+	r.MateRef = int32(v)
+	if v, err = readV(); err != nil {
+		return nil, err
+	}
+	r.MatePos = int32(v)
+	if v, err = readV(); err != nil {
+		return nil, err
+	}
+	r.TempLen = int32(v)
+	nTags, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("compress: bad tag count")
+	}
+	data = data[n:]
+	if nTags > 0 {
+		r.Tags = make(map[string]string, nTags)
+		for i := uint64(0); i < nTags; i++ {
+			var k, val string
+			if k, data, err = readString(data); err != nil {
+				return nil, err
+			}
+			if val, data, err = readString(data); err != nil {
+				return nil, err
+			}
+			r.Tags[k] = val
+		}
+	} else {
+		r.Tags = nil
+	}
+	return data, nil
+}
+
+// Marshal encodes SAM records: fixed fields first, then one seq/qual block.
+func (GPFSAMCodec) Marshal(records []sam.Record) ([]byte, error) {
+	out := binary.AppendUvarint(nil, uint64(len(records)))
+	seqs := make([][]byte, len(records))
+	quals := make([][]byte, len(records))
+	for i := range records {
+		out = appendSAMFixed(out, &records[i])
+		seqs[i] = records[i].Seq
+		quals[i] = records[i].Qual
+	}
+	block, err := EncodeSeqQualBlock(seqs, quals)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, block...), nil
+}
+
+// Unmarshal inverts Marshal.
+func (GPFSAMCodec) Unmarshal(data []byte) ([]sam.Record, error) {
+	count, data, err := readCount(data, 8)
+	if err != nil {
+		return nil, err
+	}
+	records := make([]sam.Record, count)
+	for i := range records {
+		if data, err = readSAMFixed(data, &records[i]); err != nil {
+			return nil, fmt.Errorf("compress: record %d: %w", i, err)
+		}
+	}
+	seqs, quals, err := DecodeSeqQualBlock(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(seqs) != int(count) {
+		return nil, fmt.Errorf("compress: block has %d seqs, want %d", len(seqs), count)
+	}
+	for i := range records {
+		records[i].Seq, records[i].Qual = seqs[i], quals[i]
+	}
+	return records, nil
+}
+
+// FieldSAMCodec packs SAM records in binary with raw seq/qual.
+type FieldSAMCodec struct{}
+
+// Name identifies the codec in metrics output.
+func (FieldSAMCodec) Name() string { return "field" }
+
+// Marshal encodes records field by field without genomic compression.
+func (FieldSAMCodec) Marshal(records []sam.Record) ([]byte, error) {
+	out := binary.AppendUvarint(nil, uint64(len(records)))
+	for i := range records {
+		out = appendSAMFixed(out, &records[i])
+		out = appendBytes(out, records[i].Seq)
+		out = appendBytes(out, records[i].Qual)
+	}
+	return out, nil
+}
+
+// Unmarshal inverts Marshal.
+func (FieldSAMCodec) Unmarshal(data []byte) ([]sam.Record, error) {
+	count, data, err := readCount(data, 8)
+	if err != nil {
+		return nil, err
+	}
+	records := make([]sam.Record, count)
+	for i := range records {
+		if data, err = readSAMFixed(data, &records[i]); err != nil {
+			return nil, fmt.Errorf("compress: record %d: %w", i, err)
+		}
+		if records[i].Seq, data, err = readBytes(data); err != nil {
+			return nil, err
+		}
+		if records[i].Qual, data, err = readBytes(data); err != nil {
+			return nil, err
+		}
+	}
+	return records, nil
+}
+
+// GobCodec is the generic reflective serializer used as the Java-like
+// comparator in Table 3-style measurements.
+type GobCodec[T any] struct{}
+
+// Name identifies the codec in metrics output.
+func (GobCodec[T]) Name() string { return "gob" }
+
+// Marshal encodes a batch through encoding/gob.
+func (GobCodec[T]) Marshal(items []T) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(items); err != nil {
+		return nil, fmt.Errorf("compress: gob encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal inverts Marshal.
+func (GobCodec[T]) Unmarshal(data []byte) ([]T, error) {
+	var items []T
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&items); err != nil {
+		return nil, fmt.Errorf("compress: gob decode: %w", err)
+	}
+	return items, nil
+}

@@ -1,0 +1,482 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/gpf-go/gpf/internal/fastq"
+	"github.com/gpf-go/gpf/internal/genome"
+	"github.com/gpf-go/gpf/internal/sam"
+)
+
+func TestBitIORoundTrip(t *testing.T) {
+	var w bitWriter
+	w.writeBits(0b101, 3)
+	w.writeBits(0b11110000, 8)
+	w.writeBits(0b1, 1)
+	data := w.finish()
+	r := &bitReader{buf: data}
+	if v, ok := r.readBits(3); !ok || v != 0b101 {
+		t.Fatalf("read 3 bits = %b", v)
+	}
+	if v, ok := r.readBits(8); !ok || v != 0b11110000 {
+		t.Fatalf("read 8 bits = %b", v)
+	}
+	if v, ok := r.readBits(1); !ok || v != 1 {
+		t.Fatalf("read 1 bit = %b", v)
+	}
+}
+
+func TestBitReaderExhaustion(t *testing.T) {
+	r := &bitReader{buf: []byte{0xFF}}
+	if _, ok := r.readBits(9); ok {
+		t.Fatal("reading past end should fail")
+	}
+}
+
+func TestHuffmanRoundTrip(t *testing.T) {
+	symbols := []int{0, 1, 1, 2, 2, 2, 2, 3, 0, 1}
+	lens, payload, err := huffmanEncode(symbols, 16, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := huffmanDecode(lens, payload, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(symbols) {
+		t.Fatalf("decoded %d symbols, want %d", len(back), len(symbols))
+	}
+	for i := range symbols {
+		if back[i] != symbols[i] {
+			t.Fatalf("symbol %d = %d, want %d", i, back[i], symbols[i])
+		}
+	}
+}
+
+func TestHuffmanSingleSymbol(t *testing.T) {
+	symbols := []int{5, 5, 5}
+	lens, payload, err := huffmanEncode(symbols, 8, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := huffmanDecode(lens, payload, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[0] != 5 {
+		t.Fatalf("decoded %v", back)
+	}
+}
+
+func TestHuffmanEmptyInput(t *testing.T) {
+	// Only EOF present.
+	lens, payload, err := huffmanEncode(nil, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := huffmanDecode(lens, payload, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Fatalf("decoded %v, want empty", back)
+	}
+}
+
+func TestHuffmanBadSymbol(t *testing.T) {
+	if _, _, err := huffmanEncode([]int{99}, 4, 3); err == nil {
+		t.Fatal("out-of-alphabet symbol should error")
+	}
+}
+
+func TestHuffmanCompressesSkewedData(t *testing.T) {
+	// Highly skewed distribution should compress well below 8 bits/symbol.
+	symbols := make([]int, 10000)
+	rng := rand.New(rand.NewSource(1))
+	for i := range symbols {
+		if rng.Float64() < 0.9 {
+			symbols[i] = 0
+		} else {
+			symbols[i] = rng.Intn(64)
+		}
+	}
+	_, payload, err := huffmanEncode(symbols, 256, 255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) > len(symbols)/2 {
+		t.Fatalf("payload %d bytes for %d skewed symbols; expected < half", len(payload), len(symbols))
+	}
+}
+
+func TestPackSeqRoundTrip(t *testing.T) {
+	seq := []byte("ACGTACGTTTGGCCAA")
+	packed, err := packSeq(nil, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed) != 4 {
+		t.Fatalf("packed %d bytes, want 4", len(packed))
+	}
+	back, consumed, err := unpackSeq(packed, len(seq))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 4 || !bytes.Equal(back, seq) {
+		t.Fatalf("unpacked %q (consumed %d)", back, consumed)
+	}
+}
+
+func TestPackSeqRejectsN(t *testing.T) {
+	if _, err := packSeq(nil, []byte("ACGN")); err == nil {
+		t.Fatal("packSeq must reject N")
+	}
+}
+
+func TestEncodeDecodeSeq(t *testing.T) {
+	seq := []byte("ACGTACG") // non-multiple of 4
+	enc, err := EncodeSeq(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSeq(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, seq) {
+		t.Fatalf("round trip = %q", back)
+	}
+	// ~4x compression: 7 bases in 1 varint byte + 2 payload bytes.
+	if len(enc) > 3 {
+		t.Fatalf("encoded %d bytes", len(enc))
+	}
+}
+
+func TestConvertRestoreSpecials(t *testing.T) {
+	seq := []byte("GGTTNCCTA")
+	qual := []byte("CCCB#FFFF")
+	s, q, err := convertSpecials(seq, qual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[4] != 'A' || q[4] != qualNMarker {
+		t.Fatalf("conversion: %q %v", s, q)
+	}
+	// Original untouched.
+	if seq[4] != 'N' {
+		t.Fatal("convertSpecials must not mutate input")
+	}
+	restoreSpecials(s, q)
+	if s[4] != 'N' || q[4] != qualNRestore {
+		t.Fatalf("restore: %q %q", s, q)
+	}
+	if !bytes.Equal(s, seq) || !bytes.Equal(q, qual) {
+		t.Fatalf("full round trip: %q %q", s, q)
+	}
+}
+
+func TestQualBlockRoundTrip(t *testing.T) {
+	quals := [][]byte{[]byte("CCCB#FFFF"), []byte("IIIIIHHH"), {}}
+	enc, err := EncodeQualBlock(quals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeQualBlock(enc, []int{9, 8, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range quals {
+		if !bytes.Equal(back[i], quals[i]) {
+			t.Fatalf("qual %d = %q, want %q", i, back[i], quals[i])
+		}
+	}
+}
+
+func TestQualBlockWrongLengths(t *testing.T) {
+	enc, err := EncodeQualBlock([][]byte{[]byte("IIII")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeQualBlock(enc, []int{5}); err == nil {
+		t.Fatal("longer lengths than stream should error")
+	}
+	if _, err := DecodeQualBlock(enc, []int{3}); err == nil {
+		t.Fatal("shorter lengths than stream should error")
+	}
+}
+
+func TestSeqQualBlockRoundTrip(t *testing.T) {
+	seqs := [][]byte{[]byte("GGTTNCCTA"), []byte("ACGT"), []byte("NNNN")}
+	quals := [][]byte{[]byte("CCCB#FFFF"), []byte("IIII"), []byte("####")}
+	enc, err := EncodeSeqQualBlock(seqs, quals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backSeqs, backQuals, err := DecodeSeqQualBlock(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seqs {
+		if !bytes.Equal(backSeqs[i], seqs[i]) {
+			t.Fatalf("seq %d = %q, want %q", i, backSeqs[i], seqs[i])
+		}
+		if !bytes.Equal(backQuals[i], quals[i]) {
+			t.Fatalf("qual %d = %q, want %q", i, backQuals[i], quals[i])
+		}
+	}
+}
+
+func TestSeqQualBlockMismatch(t *testing.T) {
+	if _, err := EncodeSeqQualBlock([][]byte{[]byte("AC")}, nil); err == nil {
+		t.Fatal("count mismatch should error")
+	}
+	if _, err := EncodeSeqQualBlock([][]byte{[]byte("AC")}, [][]byte{[]byte("I")}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+// Property: seq/qual block round-trip is the identity for random reads whose
+// N bases carry '#' quality (the sequencer convention the codec normalizes to).
+func TestSeqQualBlockProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%8) + 1
+		seqs := make([][]byte, count)
+		quals := make([][]byte, count)
+		for i := 0; i < count; i++ {
+			l := rng.Intn(150) + 1
+			s := make([]byte, l)
+			q := make([]byte, l)
+			for j := 0; j < l; j++ {
+				if rng.Float64() < 0.02 {
+					s[j] = 'N'
+					q[j] = '#'
+				} else {
+					s[j] = genome.Alphabet[rng.Intn(4)]
+					q[j] = byte(33 + rng.Intn(42))
+				}
+			}
+			seqs[i], quals[i] = s, q
+		}
+		enc, err := EncodeSeqQualBlock(seqs, quals)
+		if err != nil {
+			return false
+		}
+		bs, bq, err := DecodeSeqQualBlock(enc)
+		if err != nil {
+			return false
+		}
+		for i := range seqs {
+			if !bytes.Equal(bs[i], seqs[i]) || !bytes.Equal(bq[i], quals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func simulatedPairs(t *testing.T, n int) []fastq.Pair {
+	t.Helper()
+	ref := genome.Synthesize(genome.DefaultSynthConfig(31, 30000, 1))
+	donor := genome.Mutate(ref, genome.DefaultMutateConfig(32))
+	pairs := fastq.Simulate(donor, fastq.DefaultSimConfig(33, 10))
+	if len(pairs) < n {
+		t.Fatalf("only %d pairs simulated", len(pairs))
+	}
+	return pairs[:n]
+}
+
+func TestGPFPairCodecRoundTrip(t *testing.T) {
+	pairs := simulatedPairs(t, 100)
+	var codec GPFPairCodec
+	enc, err := codec.Marshal(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := codec.Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(pairs) {
+		t.Fatalf("decoded %d pairs", len(back))
+	}
+	for i := range pairs {
+		if back[i].R1.Name != pairs[i].R1.Name ||
+			!bytes.Equal(back[i].R1.Seq, pairs[i].R1.Seq) ||
+			!bytes.Equal(back[i].R1.Qual, pairs[i].R1.Qual) ||
+			!bytes.Equal(back[i].R2.Seq, pairs[i].R2.Seq) {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+}
+
+func TestCodecCompressionOrdering(t *testing.T) {
+	// The paper's claim (§4.2, Table 3): the GPF codec beats generic
+	// serializers on genomic records. Verify gpf < field < gob sizes.
+	pairs := simulatedPairs(t, 200)
+	gpfEnc, err := GPFPairCodec{}.Marshal(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fieldEnc, err := FieldPairCodec{}.Marshal(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gobEnc, err := GobCodec[fastq.Pair]{}.Marshal(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(len(gpfEnc) < len(fieldEnc) && len(fieldEnc) < len(gobEnc)) {
+		t.Fatalf("sizes gpf=%d field=%d gob=%d; want gpf < field < gob",
+			len(gpfEnc), len(fieldEnc), len(gobEnc))
+	}
+	// The paper reports ~45% reduction for FASTQ RDDs (Table 3: 20.0->11.1GB).
+	if r := Ratio(len(fieldEnc), len(gpfEnc)); r < 1.5 {
+		t.Fatalf("gpf/field ratio = %.2f; want >= 1.5", r)
+	}
+}
+
+func TestFieldPairCodecRoundTrip(t *testing.T) {
+	pairs := simulatedPairs(t, 50)
+	enc, err := FieldPairCodec{}.Marshal(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FieldPairCodec{}.Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pairs {
+		if back[i].R1.Name != pairs[i].R1.Name || !bytes.Equal(back[i].R2.Qual, pairs[i].R2.Qual) {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+}
+
+func sampleSAMRecords() []sam.Record {
+	c1, _ := sam.ParseCigar("50M")
+	c2, _ := sam.ParseCigar("10S30M2D10M")
+	return []sam.Record{
+		{Name: "r1", Flag: sam.FlagPaired, RefID: 0, Pos: 100, MapQ: 60, Cigar: c1,
+			MateRef: 0, MatePos: 300, TempLen: 250,
+			Seq: bytes.Repeat([]byte("ACGT"), 13)[:50], Qual: bytes.Repeat([]byte("I"), 50),
+			Tags: map[string]string{"RG": "rg1", "LB": "lib1"}},
+		{Name: "r2", Flag: sam.FlagUnmapped, RefID: -1, Pos: -1, MateRef: -1, MatePos: -1,
+			Seq: []byte("NNNNA"), Qual: []byte("####I")},
+		{Name: "r3", Flag: sam.FlagReverse, RefID: 1, Pos: 5, MapQ: 13, Cigar: c2,
+			MateRef: -1, MatePos: -1, Seq: bytes.Repeat([]byte("G"), 52), Qual: bytes.Repeat([]byte("H"), 52)},
+	}
+}
+
+func samEqual(a, b *sam.Record) bool {
+	if a.Name != b.Name || a.Flag != b.Flag || a.RefID != b.RefID || a.Pos != b.Pos ||
+		a.MapQ != b.MapQ || a.Cigar.String() != b.Cigar.String() ||
+		a.MateRef != b.MateRef || a.MatePos != b.MatePos || a.TempLen != b.TempLen ||
+		!bytes.Equal(a.Seq, b.Seq) || !bytes.Equal(a.Qual, b.Qual) {
+		return false
+	}
+	if len(a.Tags) != len(b.Tags) {
+		return false
+	}
+	for k, v := range a.Tags {
+		if b.Tags[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func TestGPFSAMCodecRoundTrip(t *testing.T) {
+	records := sampleSAMRecords()
+	enc, err := GPFSAMCodec{}.Marshal(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := GPFSAMCodec{}.Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(records) {
+		t.Fatalf("decoded %d records", len(back))
+	}
+	for i := range records {
+		if !samEqual(&records[i], &back[i]) {
+			t.Fatalf("record %d mismatch:\n%+v\n%+v", i, records[i], back[i])
+		}
+	}
+}
+
+func TestFieldSAMCodecRoundTrip(t *testing.T) {
+	records := sampleSAMRecords()
+	enc, err := FieldSAMCodec{}.Marshal(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FieldSAMCodec{}.Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range records {
+		if !samEqual(&records[i], &back[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestGobCodecRoundTrip(t *testing.T) {
+	type item struct{ A, B int }
+	items := []item{{1, 2}, {3, 4}}
+	enc, err := GobCodec[item]{}.Marshal(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := GobCodec[item]{}.Unmarshal(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1].B != 4 {
+		t.Fatalf("decoded %v", back)
+	}
+}
+
+func TestUnmarshalCorruptData(t *testing.T) {
+	if _, err := (GPFPairCodec{}).Unmarshal([]byte{0xFF}); err == nil {
+		t.Fatal("corrupt pair data should error")
+	}
+	if _, err := (GPFSAMCodec{}).Unmarshal([]byte{0x01, 0x00}); err == nil {
+		t.Fatal("corrupt sam data should error")
+	}
+	if _, err := (GobCodec[int]{}).Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("corrupt gob data should error")
+	}
+	if _, err := (FieldPairCodec{}).Unmarshal([]byte{0x02, 0x05}); err == nil {
+		t.Fatal("corrupt field data should error")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(100, 50) != 2 {
+		t.Fatal("ratio broken")
+	}
+	if Ratio(100, 0) != 0 {
+		t.Fatal("zero compressed size should yield 0")
+	}
+}
+
+func BenchmarkGPFPairCodecMarshal(b *testing.B) {
+	ref := genome.Synthesize(genome.DefaultSynthConfig(31, 30000, 1))
+	donor := genome.Mutate(ref, genome.DefaultMutateConfig(32))
+	pairs := fastq.Simulate(donor, fastq.DefaultSimConfig(33, 10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (GPFPairCodec{}).Marshal(pairs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package compress
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Huffman coding over a small symbol alphabet with an explicit EOF symbol,
+// as used by the quality-score codec (Fig 6 of the paper ends the delta
+// stream with an EOF codeword). The code is canonical so that only the code
+// lengths need to be stored alongside the payload.
+
+// maxCodeLen bounds codeword length; 32 symbols cannot exceed 31 bits but we
+// keep the canonical table in uint32.
+const maxCodeLen = 31
+
+// huffCode is one symbol's canonical codeword.
+type huffCode struct {
+	bits uint32
+	len  uint8
+}
+
+type huffNode struct {
+	weight      int64
+	symbol      int // -1 for internal
+	left, right *huffNode
+}
+
+type huffHeap []*huffNode
+
+func (h huffHeap) Len() int { return len(h) }
+func (h huffHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].symbol < h[j].symbol // deterministic ties
+}
+func (h huffHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *huffHeap) Push(x interface{}) { *h = append(*h, x.(*huffNode)) }
+func (h *huffHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// buildCodeLengths returns the canonical code length per symbol given
+// frequencies (0-frequency symbols get length 0 = absent). At least one
+// symbol must have nonzero frequency.
+func buildCodeLengths(freqs []int64) ([]uint8, error) {
+	h := &huffHeap{}
+	for sym, f := range freqs {
+		if f > 0 {
+			heap.Push(h, &huffNode{weight: f, symbol: sym})
+		}
+	}
+	if h.Len() == 0 {
+		return nil, fmt.Errorf("compress: no symbols to code")
+	}
+	if h.Len() == 1 {
+		lens := make([]uint8, len(freqs))
+		lens[(*h)[0].symbol] = 1
+		return lens, nil
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(h).(*huffNode)
+		b := heap.Pop(h).(*huffNode)
+		heap.Push(h, &huffNode{weight: a.weight + b.weight, symbol: -1, left: a, right: b})
+	}
+	root := heap.Pop(h).(*huffNode)
+	lens := make([]uint8, len(freqs))
+	var walk func(n *huffNode, depth uint8)
+	walk = func(n *huffNode, depth uint8) {
+		if n.symbol >= 0 {
+			if depth == 0 {
+				depth = 1
+			}
+			lens[n.symbol] = depth
+			return
+		}
+		walk(n.left, depth+1)
+		walk(n.right, depth+1)
+	}
+	walk(root, 0)
+	return lens, nil
+}
+
+// canonicalCodes assigns canonical codewords from code lengths: symbols
+// sorted by (length, symbol) receive consecutive codes.
+func canonicalCodes(lens []uint8) []huffCode {
+	type symLen struct {
+		sym int
+		l   uint8
+	}
+	var order []symLen
+	for sym, l := range lens {
+		if l > 0 {
+			order = append(order, symLen{sym, l})
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].l != order[j].l {
+			return order[i].l < order[j].l
+		}
+		return order[i].sym < order[j].sym
+	})
+	codes := make([]huffCode, len(lens))
+	var code uint32
+	var prevLen uint8
+	for _, sl := range order {
+		code <<= (sl.l - prevLen)
+		codes[sl.sym] = huffCode{bits: code, len: sl.l}
+		code++
+		prevLen = sl.l
+	}
+	return codes
+}
+
+// peekBits sizes the fast decode table: codes of up to peekBits bits decode
+// with one table lookup.
+const peekBits = 10
+
+// huffDecoder decodes canonical codes with the standard first-code/offset
+// arrays plus a peek table for short codes: O(1) per symbol on the fast
+// path.
+type huffDecoder struct {
+	// firstCode[l] is the smallest codeword of length l; count[l] how many
+	// codes have length l; offset[l] indexes into symbols for length l.
+	firstCode [maxCodeLen + 2]uint32
+	count     [maxCodeLen + 2]uint32
+	offset    [maxCodeLen + 2]uint32
+	symbols   []int // symbols ordered by (length, symbol)
+	max       uint8
+	// table maps a peekBits-bit prefix to sym<<8|len for codes with
+	// len <= peekBits; 0 means slow path.
+	table [1 << peekBits]uint32
+}
+
+func newHuffDecoder(lens []uint8) *huffDecoder {
+	d := &huffDecoder{}
+	for _, l := range lens {
+		if l > 0 {
+			d.count[l]++
+			if l > d.max {
+				d.max = l
+			}
+		}
+	}
+	// Canonical first codes per length and symbol table offsets.
+	var code uint32
+	var total uint32
+	for l := uint8(1); l <= d.max; l++ {
+		code <<= 1
+		d.firstCode[l] = code
+		d.offset[l] = total
+		code += d.count[l]
+		total += d.count[l]
+	}
+	d.symbols = make([]int, total)
+	var fill [maxCodeLen + 2]uint32
+	for sym, l := range lens {
+		if l > 0 {
+			d.symbols[d.offset[l]+fill[l]] = sym
+			fill[l]++
+		}
+	}
+	// Peek table: for every short code, fill all table slots sharing its
+	// prefix with sym<<8|len (len byte nonzero marks a valid entry).
+	codes := canonicalCodes(lens)
+	for sym, c := range codes {
+		if c.len == 0 || c.len > peekBits {
+			continue
+		}
+		shift := peekBits - uint(c.len)
+		base := c.bits << shift
+		entry := uint32(sym)<<8 | uint32(c.len)
+		for i := uint32(0); i < 1<<shift; i++ {
+			d.table[base|i] = entry
+		}
+	}
+	return d
+}
+
+// decodeSymbol reads one symbol from r.
+func (d *huffDecoder) decodeSymbol(r *bitReader) (int, error) {
+	// Fast path: table lookup on a peekBits prefix.
+	prefix, avail := r.peek(peekBits)
+	if entry := d.table[prefix]; entry != 0 {
+		l := uint(entry & 0xFF)
+		if l <= avail {
+			r.skip(l)
+			return int(entry >> 8), nil
+		}
+	}
+	// Slow path: walk code lengths bit by bit.
+	var code uint32
+	for l := uint8(1); l <= d.max; l++ {
+		b, ok := r.readBit()
+		if !ok {
+			return 0, fmt.Errorf("compress: truncated Huffman stream")
+		}
+		code = code<<1 | uint32(b)
+		if idx := code - d.firstCode[l]; code >= d.firstCode[l] && idx < d.count[l] {
+			return d.symbols[d.offset[l]+idx], nil
+		}
+	}
+	return 0, fmt.Errorf("compress: invalid Huffman code")
+}
+
+// huffmanEncode codes symbols (values < len(freqs)) plus a trailing EOF
+// symbol. Returns the code-length table and the bit payload.
+func huffmanEncode(symbols []int, alphabet int, eof int) ([]uint8, []byte, error) {
+	freqs := make([]int64, alphabet)
+	for _, s := range symbols {
+		if s < 0 || s >= alphabet {
+			return nil, nil, fmt.Errorf("compress: symbol %d out of alphabet %d", s, alphabet)
+		}
+		freqs[s]++
+	}
+	freqs[eof]++
+	lens, err := buildCodeLengths(freqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	codes := canonicalCodes(lens)
+	var w bitWriter
+	for _, s := range symbols {
+		c := codes[s]
+		w.writeBits(c.bits, uint(c.len))
+	}
+	c := codes[eof]
+	w.writeBits(c.bits, uint(c.len))
+	return lens, w.finish(), nil
+}
+
+// huffmanDecode inverts huffmanEncode, stopping at the EOF symbol.
+func huffmanDecode(lens []uint8, payload []byte, eof int) ([]int, error) {
+	d := newHuffDecoder(lens)
+	r := &bitReader{buf: payload}
+	var out []int
+	for {
+		sym, err := d.decodeSymbol(r)
+		if err != nil {
+			return nil, err
+		}
+		if sym == eof {
+			return out, nil
+		}
+		out = append(out, sym)
+	}
+}

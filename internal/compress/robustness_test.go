@@ -1,0 +1,31 @@
+package compress
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/gpf-go/gpf/internal/fastq"
+	"github.com/gpf-go/gpf/internal/sam"
+)
+
+// Unmarshal must never panic on arbitrary bytes — corrupted shuffle blocks
+// surface as errors, not crashes.
+func TestUnmarshalRobustness(t *testing.T) {
+	f := func(data []byte) bool {
+		if _, err := (GPFPairCodec{}).Unmarshal(data); err == nil && len(data) == 0 {
+			return false // empty input cannot be a valid block
+		}
+		GPFSAMCodec{}.Unmarshal(data)
+		FieldPairCodec{}.Unmarshal(data)
+		FieldSAMCodec{}.Unmarshal(data)
+		GobCodec[fastq.Pair]{}.Unmarshal(data)
+		GobCodec[sam.Record]{}.Unmarshal(data)
+		DecodeSeqQualBlock(data)
+		DecodeSeq(data)
+		DecodeQualBlock(data, []int{4})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

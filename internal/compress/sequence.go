@@ -1,0 +1,130 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/gpf-go/gpf/internal/genome"
+)
+
+// The sequence codec implements Fig 4 of the paper: bases are stored in
+// 2-bit codes (A:00 C:01 G:10 T:11 per genome.BaseCode), the sequence length
+// precedes the packed payload, and special characters (N) are converted to A
+// with the corresponding quality byte replaced by the out-of-band marker
+// qualNMarker. The quality codec (quality.go) carries the marker through, so
+// the decompressor recognizes "A with marker quality" and restores N.
+//
+// Restoration convention: an N base's quality is rewritten to '#' (Phred 2),
+// the standard no-call quality. The codec is therefore lossless for inputs
+// where N bases already carry '#' — which sequencers emit and the fastq
+// simulator guarantees — and normalizing otherwise.
+
+// qualNMarker is the out-of-band quality value marking a converted N base.
+// Legal FASTQ quality bytes are [33,126] (§4.2 footnote 1), so 0 is safe.
+const qualNMarker = 0
+
+// qualNRestore is the quality byte written back for an N base on decode.
+const qualNRestore = '#'
+
+// packSeq appends the 2-bit packed form of seq to dst. seq must contain only
+// ACGT (N conversion happens earlier).
+func packSeq(dst []byte, seq []byte) ([]byte, error) {
+	var cur byte
+	var n uint
+	for _, b := range seq {
+		code := genome.BaseCode(b)
+		if code < 0 {
+			return nil, fmt.Errorf("compress: unpackable base %q", b)
+		}
+		cur = cur<<2 | byte(code)
+		n++
+		if n == 4 {
+			dst = append(dst, cur)
+			cur, n = 0, 0
+		}
+	}
+	if n > 0 {
+		dst = append(dst, cur<<(2*(4-n)))
+	}
+	return dst, nil
+}
+
+// unpack4Tab expands one packed byte into its four bases.
+var unpack4Tab = func() (t [256][4]byte) {
+	for b := 0; b < 256; b++ {
+		for i := 0; i < 4; i++ {
+			t[b][i] = genome.CodeBase((b >> uint(6-2*i)) & 3)
+		}
+	}
+	return
+}()
+
+// unpackSeq decodes length bases from packed, returning the bases and the
+// number of bytes consumed.
+func unpackSeq(packed []byte, length int) ([]byte, int, error) {
+	need := (length + 3) / 4
+	if len(packed) < need {
+		return nil, 0, fmt.Errorf("compress: packed sequence truncated: need %d bytes, have %d", need, len(packed))
+	}
+	out := make([]byte, need*4)
+	for i := 0; i < need; i++ {
+		copy(out[i*4:], unpack4Tab[packed[i]][:])
+	}
+	return out[:length], need, nil
+}
+
+// convertSpecials returns seq and qual with every non-ACGT base rewritten to
+// 'A' and its quality to the marker, per Fig 4. Clean sequences (the common
+// case) are returned as-is without copying.
+func convertSpecials(seq, qual []byte) ([]byte, []byte, error) {
+	if len(seq) != len(qual) {
+		return nil, nil, fmt.Errorf("compress: seq len %d != qual len %d", len(seq), len(qual))
+	}
+	first := -1
+	for i, b := range seq {
+		if genome.BaseCode(b) < 0 {
+			first = i
+			break
+		}
+	}
+	if first == -1 {
+		return seq, qual, nil
+	}
+	outSeq := append([]byte(nil), seq...)
+	outQual := append([]byte(nil), qual...)
+	for i := first; i < len(outSeq); i++ {
+		if genome.BaseCode(outSeq[i]) < 0 {
+			outSeq[i] = 'A'
+			outQual[i] = qualNMarker
+		}
+	}
+	return outSeq, outQual, nil
+}
+
+// restoreSpecials rewrites marker positions back to N/'#' in place.
+func restoreSpecials(seq, qual []byte) {
+	for i, q := range qual {
+		if q == qualNMarker {
+			seq[i] = 'N'
+			qual[i] = qualNRestore
+		}
+	}
+}
+
+// EncodeSeq compresses one sequence (no quality coupling): uvarint length +
+// 2-bit payload. Ns are not allowed here; use the block codec for reads with
+// quality-coupled N handling. Exposed for reference-sequence storage.
+func EncodeSeq(seq []byte) ([]byte, error) {
+	out := binary.AppendUvarint(nil, uint64(len(seq)))
+	return packSeq(out, seq)
+}
+
+// DecodeSeq inverts EncodeSeq.
+func DecodeSeq(data []byte) ([]byte, error) {
+	length, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("compress: bad sequence length header")
+	}
+	seq, _, err := unpackSeq(data[n:], int(length))
+	return seq, err
+}

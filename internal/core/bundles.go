@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gpf-go/gpf/internal/compress"
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/genome"
+	"github.com/gpf-go/gpf/internal/sam"
+	"github.com/gpf-go/gpf/internal/vcf"
+)
+
+// bundlePad is the reference flank carried with each bundle partition so
+// reads overhanging the partition boundary can still be realigned/called.
+const bundlePad = 300
+
+// Bundle is one position-partition of the pipeline's working set: the
+// reference slice, the SAM records and the known variants of one genomic
+// partition — the "Partition Bundle RDD" of Fig 7.
+type Bundle struct {
+	PartID   int
+	Interval genome.Interval // the partition's core (unpadded) interval
+	RefStart int             // start of the padded reference slice
+	Ref      []byte          // padded reference bases
+	Sams     []sam.Record
+	Known    []vcf.Record
+}
+
+// refChunk is the FASTA-partition element shuffled when building bundles.
+type refChunk struct {
+	PartID   int
+	Interval genome.Interval
+	RefStart int
+	Seq      []byte
+}
+
+// CodecTier selects the serializer family used throughout a pipeline.
+type CodecTier int
+
+// Serializer tiers, from genomic-aware to generic (§4.2's comparison).
+const (
+	TierGPF   CodecTier = iota // GPF genomic codec (2-bit + delta/Huffman)
+	TierField                  // fast binary field codec (Kryo-like)
+	TierGob                    // generic reflective codec (Java-like)
+)
+
+// String names the tier.
+func (t CodecTier) String() string {
+	switch t {
+	case TierField:
+		return "field"
+	case TierGob:
+		return "gob"
+	default:
+		return "gpf"
+	}
+}
+
+// SAMCodec returns the SAM serializer for the runtime's tier (nil selects
+// the engine's gob fallback).
+func (rt *Runtime) SAMCodec() engine.Serializer[sam.Record] {
+	switch rt.Codec {
+	case TierGPF:
+		return compress.GPFSAMCodec{}
+	case TierField:
+		return compress.FieldSAMCodec{}
+	default:
+		return nil
+	}
+}
+
+// samCodec is the internal alias used by the processes.
+func (rt *Runtime) samCodec() engine.Serializer[sam.Record] { return rt.SAMCodec() }
+
+// buildBundles performs the partition operation of Fig 7a: groupBy partition
+// ID on the SAM records, the FASTA chunks and the known VCF records (three
+// shuffles), then join them partition-wise into the bundle dataset.
+func buildBundles(rt *Runtime, name string, flat *engine.Dataset[sam.Record], info *PartitionInfo) (*engine.Dataset[Bundle], error) {
+	n := info.NumPartitions()
+	if n == 0 {
+		return nil, fmt.Errorf("core: partition info has no partitions")
+	}
+
+	// SAM records by final partition ID.
+	samPart, err := engine.PartitionBy(name+"/sam-partition",
+		engine.WithCodec(flat, rt.samCodec()), n,
+		func(r sam.Record) int {
+			if r.RefID < 0 {
+				return 0
+			}
+			return info.FinalID(int(r.RefID), int(r.Pos))
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// FASTA chunks by partition ID.
+	chunks := make([]refChunk, 0, n)
+	for p := 0; p < n; p++ {
+		iv, ok := info.Interval(p)
+		if !ok {
+			continue
+		}
+		start := iv.Start - bundlePad
+		if start < 0 {
+			start = 0
+		}
+		end := iv.End + bundlePad
+		chunks = append(chunks, refChunk{
+			PartID:   p,
+			Interval: iv,
+			RefStart: start,
+			Seq:      rt.Ref.Slice(iv.Contig, start, end),
+		})
+	}
+	chunkDS := engine.Parallelize(rt.Engine, chunks, rt.NumPartitions)
+	chunkPart, err := engine.PartitionBy(name+"/fasta-partition", chunkDS, n,
+		func(c refChunk) int { return c.PartID })
+	if err != nil {
+		return nil, err
+	}
+
+	// Known VCF by partition ID.
+	knownDS := engine.Parallelize(rt.Engine, rt.Known, rt.NumPartitions)
+	knownPart, err := engine.PartitionBy(name+"/vcf-partition", knownDS, n,
+		func(v vcf.Record) int {
+			contig, ok := rt.Ref.ContigID(v.Chrom)
+			if !ok {
+				return 0
+			}
+			return info.FinalID(contig, v.Pos)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	// Join: partition-wise zip into bundles.
+	return engine.ZipPartitions3(name+"/join", samPart, chunkPart, knownPart, nil,
+		func(p int, sams []sam.Record, cs []refChunk, known []vcf.Record) ([]Bundle, error) {
+			b := Bundle{PartID: p, Sams: sams, Known: known}
+			if len(cs) > 0 {
+				b.Interval = cs[0].Interval
+				b.RefStart = cs[0].RefStart
+				b.Ref = cs[0].Seq
+			}
+			return []Bundle{b}, nil
+		})
+}
+
+// flattenBundles merges the bundle dataset back into a flat SAM record
+// dataset (the "merge into a SAM RDD" of Fig 7a that forces the next
+// partition Process to re-shuffle).
+func flattenBundles(rt *Runtime, name string, bundled *engine.Dataset[Bundle]) (*engine.Dataset[sam.Record], error) {
+	flat, err := engine.MapPartitions(name+"/flatten", bundled, rt.samCodec(),
+		func(_ int, bs []Bundle) ([]sam.Record, error) {
+			var out []sam.Record
+			for i := range bs {
+				out = append(out, bs[i].Sams...)
+			}
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return flat, nil
+}
+
+// bundleInput resolves the bundle dataset a partition Process consumes:
+// either the fused predecessor's bundled output (Fig 7b) or a fresh build
+// from the flat form (Fig 7a).
+func bundleInput(rt *Runtime, name string, in *SAMBundle, info *PartitionInfo, useBundle bool) (*engine.Dataset[Bundle], error) {
+	if useBundle && in.Bundled != nil {
+		return in.Bundled, nil
+	}
+	flat := in.Data
+	if flat == nil {
+		if in.Bundled == nil {
+			return nil, fmt.Errorf("core: SAM bundle %q holds no data", in.ResourceName())
+		}
+		var err error
+		flat, err = flattenBundles(rt, name+"/reflatten", in.Bundled)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buildBundles(rt, name, flat, info)
+}
+
+// EnsureFlat materializes the flat record dataset of a SAM bundle,
+// flattening the bundled form if necessary.
+func (b *SAMBundle) EnsureFlat(rt *Runtime) (*engine.Dataset[sam.Record], error) {
+	if b.Data != nil {
+		return b.Data, nil
+	}
+	if b.Bundled == nil {
+		return nil, fmt.Errorf("core: SAM bundle %q holds no data", b.ResourceName())
+	}
+	flat, err := flattenBundles(rt, b.ResourceName(), b.Bundled)
+	if err != nil {
+		return nil, err
+	}
+	b.Data = flat
+	return flat, nil
+}

@@ -1,0 +1,562 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/gpf-go/gpf/internal/caller"
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/fastq"
+	"github.com/gpf-go/gpf/internal/genome"
+	"github.com/gpf-go/gpf/internal/vcf"
+)
+
+func TestPartitionInfoBaseMapping(t *testing.T) {
+	// Mirrors Fig 8: partition length 1,000,000; contigs of 250, 244, 199
+	// partitions...
+	lens := []int{250_000_000, 243_200_000, 198_300_000}
+	pi, err := NewPartitionInfo(lens, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi.CountPerContig[0] != 250 || pi.StartID[1] != 250 || pi.StartID[2] != 494 {
+		t.Fatalf("structure: counts=%v starts=%v", pi.CountPerContig, pi.StartID)
+	}
+	// Fig 8's worked example: position (contig index 3 in the paper is our
+	// contig 2 here); check the arithmetic start+offset.
+	if got := pi.BaseID(2, 12_345_678); got != 494+12 {
+		t.Fatalf("BaseID = %d, want %d", got, 494+12)
+	}
+	if pi.BaseID(-1, 0) != -1 || pi.BaseID(9, 0) != -1 {
+		t.Fatal("bad contig should map to -1")
+	}
+	// Positions beyond the contig clamp into the last partition.
+	if got := pi.BaseID(0, 260_000_000); got != 249 {
+		t.Fatalf("clamped BaseID = %d", got)
+	}
+}
+
+func TestPartitionInfoSplit(t *testing.T) {
+	// Mirrors Fig 9: partition 705 split into 4.
+	lens := []int{250_000_000, 244_000_000, 199_000_000, 192_000_000}
+	pi, err := NewPartitionInfo(lens, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pi.BaseID(3, 12_345_678) // contig 3 starts at 693: 693+12 = 705
+	if base != 705 {
+		t.Fatalf("base = %d, want 705", base)
+	}
+	if err := pi.Split(705, 4); err != nil {
+		t.Fatal(err)
+	}
+	// After split: split length 250,000; offset 345,678/250,000 = 1.
+	finalOfSplit := pi.FinalID(3, 12_345_678)
+	startOfSplit := pi.FinalID(3, 12_000_000)
+	if finalOfSplit != startOfSplit+1 {
+		t.Fatalf("offset in split: start=%d final=%d, want +1", startOfSplit, finalOfSplit)
+	}
+	// Unsplit partitions before the split keep their renumbered IDs dense.
+	if got := pi.FinalID(0, 0); got != 0 {
+		t.Fatalf("first partition final ID = %d", got)
+	}
+	if pi.NumPartitions() != pi.NumBasePartitions()+3 {
+		t.Fatalf("total = %d, want base+3", pi.NumPartitions())
+	}
+	// Split errors.
+	if err := pi.Split(-1, 2); err == nil {
+		t.Fatal("split of negative partition should error")
+	}
+	if err := pi.Split(0, 0); err == nil {
+		t.Fatal("split count 0 should error")
+	}
+}
+
+func TestPartitionInfoIntervalRoundTrip(t *testing.T) {
+	lens := []int{2_500_000, 1_700_000}
+	pi, err := NewPartitionInfo(lens, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pi.Split(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < pi.NumPartitions(); id++ {
+		iv, ok := pi.Interval(id)
+		if !ok {
+			t.Fatalf("Interval(%d) failed", id)
+		}
+		if iv.Len() == 0 {
+			continue // zero-length tail partitions are legal
+		}
+		// Round trip: every position in the interval maps back to id.
+		for _, pos := range []int{iv.Start, (iv.Start + iv.End) / 2, iv.End - 1} {
+			if got := pi.FinalID(iv.Contig, pos); got != id {
+				t.Fatalf("FinalID(%d,%d) = %d, want %d (iv=%+v)", iv.Contig, pos, got, id, iv)
+			}
+		}
+	}
+	if _, ok := pi.Interval(-1); ok {
+		t.Fatal("negative interval should fail")
+	}
+	if _, ok := pi.Interval(pi.NumPartitions()); ok {
+		t.Fatal("out-of-range interval should fail")
+	}
+}
+
+// Property: FinalID is monotone in position within a contig and total
+// coverage is complete (every position maps to a valid partition).
+func TestPartitionInfoMonotoneProperty(t *testing.T) {
+	f := func(seed int64, splitSel uint8) bool {
+		lens := []int{1_300_000 + int(uint16(seed)), 900_000}
+		pi, err := NewPartitionInfo(lens, 500_000)
+		if err != nil {
+			return false
+		}
+		split := int(splitSel) % pi.NumBasePartitions()
+		if err := pi.Split(split, 2+int(splitSel%3)); err != nil {
+			return false
+		}
+		for c, l := range lens {
+			prev := -1
+			for pos := 0; pos < l; pos += 50_000 {
+				id := pi.FinalID(c, pos)
+				if id < 0 || id >= pi.NumPartitions() {
+					return false
+				}
+				if id < prev {
+					return false
+				}
+				prev = id
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPartitionInfoErrors(t *testing.T) {
+	if _, err := NewPartitionInfo([]int{100}, 0); err == nil {
+		t.Fatal("zero partition length should error")
+	}
+	if _, err := NewPartitionInfo([]int{-5}, 100); err == nil {
+		t.Fatal("negative contig length should error")
+	}
+}
+
+func TestResourceStateMachine(t *testing.T) {
+	b := UndefinedSAM("s", nil)
+	if b.State() != Undefined {
+		t.Fatal("new bundle should be undefined")
+	}
+	b.setDefined()
+	if b.State() != Defined {
+		t.Fatal("setDefined failed")
+	}
+	f := DefinedFASTQPair("f", nil)
+	if f.State() != Defined {
+		t.Fatal("DefinedFASTQPair should be defined")
+	}
+}
+
+// stubProcess is a minimal Process for scheduler tests.
+type stubProcess struct {
+	baseProcess
+	ran  *[]string
+	fail error
+}
+
+func newStub(name string, ran *[]string, ins []Resource, outs []Resource) *stubProcess {
+	return &stubProcess{baseProcess: baseProcess{name: name, inputs: ins, outputs: outs}, ran: ran}
+}
+
+func (s *stubProcess) Run(rt *Runtime) error {
+	if s.fail != nil {
+		return s.fail
+	}
+	*s.ran = append(*s.ran, s.name)
+	return nil
+}
+
+func testRuntime(t *testing.T, workers int) *Runtime {
+	t.Helper()
+	ref := genome.Synthesize(genome.DefaultSynthConfig(900, 30000, 1))
+	rt := NewRuntime(engine.NewContext(workers), ref)
+	rt.PartitionLen = 5000
+	return rt
+}
+
+func TestPipelineTopologicalExecution(t *testing.T) {
+	rt := testRuntime(t, 1)
+	var ran []string
+	a := UndefinedSAM("a", nil)
+	b := UndefinedSAM("b", nil)
+	c := UndefinedSAM("c", nil)
+	src := DefinedFASTQPair("src", nil)
+	// Add in reverse order: scheduler must still respect dependencies.
+	p := NewPipeline("test", rt)
+	p.AddProcess(newStub("third", &ran, []Resource{b}, []Resource{c}))
+	p.AddProcess(newStub("second", &ran, []Resource{a}, []Resource{b}))
+	p.AddProcess(newStub("first", &ran, []Resource{src}, []Resource{a}))
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 3 || ran[0] != "first" || ran[1] != "second" || ran[2] != "third" {
+		t.Fatalf("execution order: %v", ran)
+	}
+}
+
+func TestPipelineCircularDependency(t *testing.T) {
+	rt := testRuntime(t, 1)
+	var ran []string
+	a := UndefinedSAM("a", nil)
+	b := UndefinedSAM("b", nil)
+	p := NewPipeline("cycle", rt)
+	p.AddProcess(newStub("x", &ran, []Resource{a}, []Resource{b}))
+	p.AddProcess(newStub("y", &ran, []Resource{b}, []Resource{a}))
+	err := p.Run()
+	if err == nil {
+		t.Fatal("circular dependency must error")
+	}
+}
+
+func TestPipelineDisconnectedGraph(t *testing.T) {
+	// The DAG may not be connected (§4.3); both components must run.
+	rt := testRuntime(t, 1)
+	var ran []string
+	s1 := DefinedFASTQPair("s1", nil)
+	s2 := DefinedFASTQPair("s2", nil)
+	o1 := UndefinedSAM("o1", nil)
+	o2 := UndefinedSAM("o2", nil)
+	p := NewPipeline("disconnected", rt)
+	p.AddProcess(newStub("c1", &ran, []Resource{s1}, []Resource{o1}))
+	p.AddProcess(newStub("c2", &ran, []Resource{s2}, []Resource{o2}))
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ran) != 2 {
+		t.Fatalf("ran %v", ran)
+	}
+}
+
+func simPairs(t *testing.T, rt *Runtime, coverage float64) []fastq.Pair {
+	t.Helper()
+	donor := genome.Mutate(rt.Ref, genome.DefaultMutateConfig(901))
+	return fastq.Simulate(donor, fastq.DefaultSimConfig(902, coverage))
+}
+
+func TestWGSPipelineEndToEnd(t *testing.T) {
+	rt := testRuntime(t, 2)
+	pairs := simPairs(t, rt, 12)
+	ds := PairsToRDD(rt, pairs, 4)
+	wgs := BuildWGSPipeline(rt, ds, false)
+	if err := wgs.Pipeline.Run(); err != nil {
+		t.Fatal(err)
+	}
+	calls, err := CollectVCF(rt, wgs.VCF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 {
+		t.Fatal("pipeline called no variants")
+	}
+	// Compare against the donor truth set.
+	donor := genome.Mutate(rt.Ref, genome.DefaultMutateConfig(901))
+	var truth []vcf.Record
+	for _, v := range donor.Truth.Variants {
+		truth = append(truth, vcf.Record{
+			Chrom: rt.Ref.Contigs[v.Contig].Name, Pos: v.Pos,
+			Ref: string(v.Ref), Alt: string(v.Alt),
+		})
+	}
+	stats := vcf.Compare(calls, truth, 2)
+	if stats.Recall() < 0.4 {
+		t.Fatalf("WGS recall %.2f (TP=%d FN=%d)", stats.Recall(), stats.TruePositive, stats.FalseNegative)
+	}
+	// Execution order respects the pipeline structure.
+	order := wgs.Pipeline.ExecutionOrder()
+	if len(order) != 6 || order[0] != "BwaMapping" || order[5] != "HaplotypeCaller" {
+		t.Fatalf("execution order: %v", order)
+	}
+}
+
+func TestRedundancyEliminationReducesStages(t *testing.T) {
+	// The Table 4 claim: the optimized pipeline runs fewer stages and moves
+	// less shuffle data than the unoptimized one.
+	run := func(optimize bool) engine.Metrics {
+		rt := testRuntime(t, 2)
+		pairs := simPairs(t, rt, 8)
+		ds := PairsToRDD(rt, pairs, 4)
+		wgs := BuildWGSPipeline(rt, ds, false)
+		wgs.Pipeline.Optimize = optimize
+		if err := wgs.Pipeline.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := CollectVCF(rt, wgs.VCF); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Engine.Metrics()
+	}
+	opt := run(true)
+	unopt := run(false)
+	if opt.NumStages() >= unopt.NumStages() {
+		t.Fatalf("optimized stages %d should be < unoptimized %d", opt.NumStages(), unopt.NumStages())
+	}
+	if opt.TotalShuffleBytes() >= unopt.TotalShuffleBytes() {
+		t.Fatalf("optimized shuffle %d should be < unoptimized %d",
+			opt.TotalShuffleBytes(), unopt.TotalShuffleBytes())
+	}
+}
+
+func TestOptimizationPreservesResults(t *testing.T) {
+	run := func(optimize bool) []vcf.Record {
+		rt := testRuntime(t, 2)
+		pairs := simPairs(t, rt, 10)
+		ds := PairsToRDD(rt, pairs, 4)
+		wgs := BuildWGSPipeline(rt, ds, false)
+		wgs.Pipeline.Optimize = optimize
+		if err := wgs.Pipeline.Run(); err != nil {
+			t.Fatal(err)
+		}
+		calls, err := CollectVCF(rt, wgs.VCF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return calls
+	}
+	opt := run(true)
+	unopt := run(false)
+	if len(opt) != len(unopt) {
+		t.Fatalf("call counts differ: optimized %d vs unoptimized %d", len(opt), len(unopt))
+	}
+	for i := range opt {
+		a, b := opt[i], unopt[i]
+		if a.Chrom != b.Chrom || a.Pos != b.Pos || a.Ref != b.Ref || a.Alt != b.Alt || a.GT != b.GT {
+			t.Fatalf("call %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestRepartitionerSplitsHotspots(t *testing.T) {
+	rt := testRuntime(t, 2)
+	donor := genome.Mutate(rt.Ref, genome.DefaultMutateConfig(901))
+	cfg := fastq.DefaultSimConfig(903, 6)
+	cfg.Hotspots = []genome.Interval{{Contig: 0, Start: 2000, End: 4000}}
+	cfg.HotspotFactor = 30
+	pairs := fastq.Simulate(donor, cfg)
+	ds := PairsToRDD(rt, pairs, 4)
+
+	// Align, then repartition.
+	fastqBundle := DefinedFASTQPair("f", ds)
+	aligned := UndefinedSAM("aligned", nil)
+	info := UndefinedPartitionInfo("pi")
+	p := NewPipeline("repart", rt)
+	p.AddProcess(NewBwaMemProcess("bwa", fastqBundle, aligned))
+	p.AddProcess(NewReadRepartitionerProcess("repart", []*SAMBundle{aligned}, info))
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pi := info.Info
+	if pi == nil {
+		t.Fatal("no partition info produced")
+	}
+	if pi.NumPartitions() <= pi.NumBasePartitions() {
+		t.Fatalf("hotspot did not trigger splits: %d final vs %d base",
+			pi.NumPartitions(), pi.NumBasePartitions())
+	}
+	// The hotspot's partition must be among the split ones.
+	hotBase := pi.BaseID(0, 3000)
+	hotIv, _ := pi.Interval(pi.FinalID(0, 3000))
+	if hotIv.Len() >= rt.PartitionLen {
+		t.Fatalf("hotspot partition %d not split: interval %+v", hotBase, hotIv)
+	}
+}
+
+func TestBundleConstruction(t *testing.T) {
+	rt := testRuntime(t, 2)
+	pairs := simPairs(t, rt, 6)
+	ds := PairsToRDD(rt, pairs, 2)
+	fastqBundle := DefinedFASTQPair("f", ds)
+	aligned := UndefinedSAM("aligned", nil)
+	p := NewPipeline("b", rt)
+	p.AddProcess(NewBwaMemProcess("bwa", fastqBundle, aligned))
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pi, err := NewPartitionInfo(rt.Ref.Lengths(), rt.PartitionLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundled, err := buildBundles(rt, "test", aligned.Data, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundles, err := engine.Collect("collect", bundled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != pi.NumPartitions() {
+		t.Fatalf("bundles = %d, want %d", len(bundles), pi.NumPartitions())
+	}
+	totalReads := 0
+	for _, b := range bundles {
+		totalReads += len(b.Sams)
+		// Every mapped read must belong to its bundle's partition.
+		for i := range b.Sams {
+			r := &b.Sams[i]
+			if r.RefID < 0 {
+				continue
+			}
+			if got := pi.FinalID(int(r.RefID), int(r.Pos)); got != b.PartID {
+				t.Fatalf("read at %d:%d in partition %d, want %d", r.RefID, r.Pos, b.PartID, got)
+			}
+		}
+		// Reference slice must cover the padded interval.
+		if b.Interval.Len() > 0 && len(b.Ref) == 0 {
+			t.Fatalf("bundle %d has no reference slice", b.PartID)
+		}
+	}
+	if totalReads != 2*len(pairs) {
+		t.Fatalf("bundles hold %d reads, want %d", totalReads, 2*len(pairs))
+	}
+}
+
+func TestEnsureFlatErrors(t *testing.T) {
+	rt := testRuntime(t, 1)
+	b := UndefinedSAM("empty", nil)
+	if _, err := b.EnsureFlat(rt); err == nil {
+		t.Fatal("empty bundle should error")
+	}
+}
+
+func TestMarkDuplicateProcessColocatesDuplicates(t *testing.T) {
+	rt := testRuntime(t, 2)
+	donor := genome.Mutate(rt.Ref, genome.DefaultMutateConfig(901))
+	cfg := fastq.DefaultSimConfig(905, 8)
+	cfg.DuplicateRate = 0.4
+	pairs := fastq.Simulate(donor, cfg)
+	ds := PairsToRDD(rt, pairs, 4)
+	fastqBundle := DefinedFASTQPair("f", ds)
+	aligned := UndefinedSAM("aligned", nil)
+	deduped := UndefinedSAM("deduped", nil)
+	p := NewPipeline("md", rt)
+	p.AddProcess(NewBwaMemProcess("bwa", fastqBundle, aligned))
+	p.AddProcess(NewMarkDuplicateProcess("markdup", aligned, deduped))
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := engine.Collect("c", deduped.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marked := 0
+	for i := range recs {
+		if recs[i].Duplicate() {
+			marked++
+		}
+	}
+	if marked == 0 {
+		t.Fatal("no duplicates marked despite 40% duplication rate")
+	}
+}
+
+func TestWGSPipelineGVCFMode(t *testing.T) {
+	rt := testRuntime(t, 2)
+	pairs := simPairs(t, rt, 10)
+	ds := PairsToRDD(rt, pairs, 4)
+	wgs := BuildWGSPipeline(rt, ds, true) // gVCF on
+	if err := wgs.Pipeline.Run(); err != nil {
+		t.Fatal(err)
+	}
+	records, err := CollectVCF(rt, wgs.VCF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks, variants := 0, 0
+	for i := range records {
+		if end, ok := caller.BlockEnd(&records[i]); ok {
+			blocks++
+			if end <= records[i].Pos {
+				t.Fatalf("block END %d not past start %d", end, records[i].Pos)
+			}
+		} else {
+			variants++
+		}
+	}
+	if blocks == 0 {
+		t.Fatal("gVCF mode emitted no reference blocks")
+	}
+	if variants == 0 {
+		t.Fatal("gVCF mode lost the variant calls")
+	}
+	// Records sorted by coordinate per contig.
+	for i := 1; i < len(records); i++ {
+		a, b := records[i-1], records[i]
+		if a.Chrom == b.Chrom && a.Pos > b.Pos {
+			t.Fatalf("gVCF stream out of order at %d", i)
+		}
+	}
+}
+
+func TestCodecTierShuffleBytes(t *testing.T) {
+	// The engine's shuffle must move fewer bytes with the genomic codec than
+	// with the generic tier — the mechanism behind Table 3 and Fig 11.
+	run := func(tier CodecTier) int64 {
+		rt := testRuntime(t, 2)
+		rt.Codec = tier
+		pairs := simPairs(t, rt, 6)
+		ds := PairsToRDD(rt, pairs, 4)
+		fq := DefinedFASTQPair("f", ds)
+		aligned := UndefinedSAM("aligned", nil)
+		deduped := UndefinedSAM("deduped", nil)
+		p := NewPipeline("codec", rt)
+		p.AddProcess(NewBwaMemProcess("bwa", fq, aligned))
+		p.AddProcess(NewMarkDuplicateProcess("markdup", aligned, deduped))
+		if err := p.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Engine.Metrics().TotalShuffleBytes()
+	}
+	gpfBytes := run(TierGPF)
+	fieldBytes := run(TierField)
+	gobBytes := run(TierGob)
+	if !(gpfBytes < fieldBytes && fieldBytes < gobBytes) {
+		t.Fatalf("shuffle bytes gpf=%d field=%d gob=%d; want strictly increasing",
+			gpfBytes, fieldBytes, gobBytes)
+	}
+}
+
+func TestPipelineWithSerializedStorage(t *testing.T) {
+	// MEMORY_ONLY_SER mode (§4.2): partitions held as serialized blocks.
+	rt := testRuntime(t, 2)
+	rt.Engine.StoreSerialized = true
+	pairs := simPairs(t, rt, 8)
+	ds := PairsToRDD(rt, pairs, 4)
+	wgs := BuildWGSPipeline(rt, ds, false)
+	if err := wgs.Pipeline.Run(); err != nil {
+		t.Fatal(err)
+	}
+	calls, err := CollectVCF(rt, wgs.VCF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 {
+		t.Fatal("serialized-storage pipeline called nothing")
+	}
+	// Results identical to the unserialized run.
+	rt2 := testRuntime(t, 2)
+	ds2 := PairsToRDD(rt2, pairs, 4)
+	wgs2 := BuildWGSPipeline(rt2, ds2, false)
+	if err := wgs2.Pipeline.Run(); err != nil {
+		t.Fatal(err)
+	}
+	calls2, err := CollectVCF(rt2, wgs2.VCF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != len(calls2) {
+		t.Fatalf("serialized storage changed results: %d vs %d calls", len(calls), len(calls2))
+	}
+}

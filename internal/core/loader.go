@@ -1,0 +1,37 @@
+package core
+
+import (
+	"io"
+
+	"github.com/gpf-go/gpf/internal/compress"
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/fastq"
+)
+
+// FileLoader mirrors the paper's FileLoader API (Fig 3): it turns genomic
+// files into engine datasets.
+
+// LoadFastqPairToRDD reads two mate FASTQ streams and distributes the pairs
+// over numPartitions, attaching the GPF pair codec when the runtime uses
+// genomic compression.
+func LoadFastqPairToRDD(rt *Runtime, r1, r2 io.Reader, numPartitions int) (*engine.Dataset[fastq.Pair], error) {
+	pairs, err := fastq.ReadPairs(r1, r2)
+	if err != nil {
+		return nil, err
+	}
+	return PairsToRDD(rt, pairs, numPartitions), nil
+}
+
+// PairsToRDD distributes in-memory pairs over numPartitions with the
+// configured codec — the entry point for simulated datasets.
+func PairsToRDD(rt *Runtime, pairs []fastq.Pair, numPartitions int) *engine.Dataset[fastq.Pair] {
+	ds := engine.Parallelize(rt.Engine, pairs, numPartitions)
+	switch rt.Codec {
+	case TierGPF:
+		return engine.WithCodec[fastq.Pair](ds, compress.GPFPairCodec{})
+	case TierField:
+		return engine.WithCodec[fastq.Pair](ds, compress.FieldPairCodec{})
+	default:
+		return ds
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/fastq"
+	"github.com/gpf-go/gpf/internal/vcf"
+)
+
+// Multi-sample pipelines: the paper's Cleaner/Caller interfaces take SAM
+// bundle *lists* (Table 2: inputSAMList, outputSAMList), and the Table 1
+// experiment scales from 1 to 30 concurrent samples. MultiSampleWGS builds
+// one pipeline that aligns and cleans every sample, shares a single
+// ReadRepartitioner census across all of them (so the partition map reflects
+// the aggregate load), and calls variants per sample.
+
+// SampleInput is one sample's reads.
+type SampleInput struct {
+	Name  string
+	Pairs *engine.Dataset[fastq.Pair]
+}
+
+// MultiSampleWGS holds the constructed pipeline and per-sample terminals.
+type MultiSampleWGS struct {
+	Pipeline *Pipeline
+	// VCFs[i] is sample i's result bundle.
+	VCFs []*VCFBundle
+	// Names[i] is sample i's name.
+	Names []string
+}
+
+// BuildMultiSampleWGS assembles a pipeline over several samples. Every
+// sample gets its own Aligner and Cleaner chain; the repartitioner sees all
+// aligned bundles at once (its census spans the batch), and each sample's
+// partition Processes share that PartitionInfo.
+func BuildMultiSampleWGS(rt *Runtime, samples []SampleInput, useGVCF bool) (*MultiSampleWGS, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no samples")
+	}
+	pipeline := NewPipeline("multi-wgs", rt)
+	res := &MultiSampleWGS{Pipeline: pipeline}
+
+	dedupeds := make([]*SAMBundle, len(samples))
+	for i, s := range samples {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("sample%d", i+1)
+		}
+		fastqBundle := DefinedFASTQPair(name+"/fastq", s.Pairs)
+		aligned := UndefinedSAM(name+"/aligned", unsortedHeader(rt))
+		pipeline.AddProcess(NewBwaMemProcess(name+"/Bwa", fastqBundle, aligned))
+		deduped := UndefinedSAM(name+"/deduped", nil)
+		pipeline.AddProcess(NewMarkDuplicateProcess(name+"/MarkDuplicate", aligned, deduped))
+		dedupeds[i] = deduped
+		res.Names = append(res.Names, name)
+	}
+
+	// One census across the batch (the paper's ReadRepartitioner takes the
+	// SAM bundle list).
+	partInfo := UndefinedPartitionInfo("partitionInfo")
+	pipeline.AddProcess(NewReadRepartitionerProcess("ReadRepartitioner", dedupeds, partInfo))
+
+	for i, name := range res.Names {
+		realigned := UndefinedSAM(name+"/realigned", nil)
+		pipeline.AddProcess(NewIndelRealignProcess(name+"/IndelRealign", partInfo, dedupeds[i], realigned))
+		recaled := UndefinedSAM(name+"/recaled", nil)
+		pipeline.AddProcess(NewBaseRecalibrationProcess(name+"/BaseRecalibration", partInfo, realigned, recaled))
+		result := UndefinedVCF(name+"/vcf", vcf.NewHeader(refNames(rt), rt.Ref.Lengths(), name))
+		pipeline.AddProcess(NewHaplotypeCallerProcess(name+"/HaplotypeCaller", partInfo, recaled, result, useGVCF))
+		res.VCFs = append(res.VCFs, result)
+	}
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/fastq"
+	"github.com/gpf-go/gpf/internal/genome"
+	"github.com/gpf-go/gpf/internal/workload"
+)
+
+func TestMultiSampleWGS(t *testing.T) {
+	// Two samples over one reference, distinct donors.
+	p := workload.DefaultProfile(workload.WGS, 30000)
+	p.Coverage = 8
+	batch := workload.MultiSample(p, 2, 950)
+	rt := NewRuntime(engine.NewContext(2), batch[0].Ref)
+	rt.PartitionLen = 5000
+	rt.Known = batch[0].Known
+
+	var samples []SampleInput
+	for _, d := range batch {
+		samples = append(samples, SampleInput{Name: d.Name, Pairs: PairsToRDD(rt, d.Pairs, 4)})
+	}
+	multi, err := BuildMultiSampleWGS(rt, samples, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := multi.Pipeline.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(multi.VCFs) != 2 {
+		t.Fatalf("VCFs = %d", len(multi.VCFs))
+	}
+	// Both samples produce calls, and the calls differ (different donors).
+	callsA, err := CollectVCF(rt, multi.VCFs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	callsB, err := CollectVCF(rt, multi.VCFs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(callsA) == 0 || len(callsB) == 0 {
+		t.Fatalf("sample calls: %d / %d", len(callsA), len(callsB))
+	}
+	same := 0
+	for _, a := range callsA {
+		for _, b := range callsB {
+			if a.Chrom == b.Chrom && a.Pos == b.Pos && a.Alt == b.Alt {
+				same++
+			}
+		}
+	}
+	if same == len(callsA) && same == len(callsB) {
+		t.Fatal("both samples produced identical call sets; donors should differ")
+	}
+	// One shared census: exactly one ReadRepartitioner in the order, after
+	// every MarkDuplicate and before every IndelRealign.
+	order := multi.Pipeline.ExecutionOrder()
+	repIdx := -1
+	for i, n := range order {
+		if n == "ReadRepartitioner" {
+			if repIdx != -1 {
+				t.Fatal("repartitioner ran twice")
+			}
+			repIdx = i
+		}
+	}
+	if repIdx == -1 {
+		t.Fatal("repartitioner missing")
+	}
+	for i, n := range order {
+		if strings.Contains(n, "MarkDuplicate") && i > repIdx {
+			t.Fatalf("MarkDuplicate %q after the census", n)
+		}
+		if strings.Contains(n, "IndelRealign") && i < repIdx {
+			t.Fatalf("IndelRealign %q before the census", n)
+		}
+	}
+}
+
+func TestMultiSampleWGSEmpty(t *testing.T) {
+	ref := genome.Synthesize(genome.DefaultSynthConfig(1, 1000, 1))
+	rt := NewRuntime(engine.NewContext(1), ref)
+	if _, err := BuildMultiSampleWGS(rt, nil, false); err == nil {
+		t.Fatal("no samples must error")
+	}
+}
+
+func TestMultiSampleDefaultNames(t *testing.T) {
+	ref := genome.Synthesize(genome.DefaultSynthConfig(1, 2000, 1))
+	rt := NewRuntime(engine.NewContext(1), ref)
+	multi, err := BuildMultiSampleWGS(rt, []SampleInput{
+		{Pairs: PairsToRDD(rt, []fastq.Pair{}, 1)},
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Names[0] != "sample1" {
+		t.Fatalf("default name = %q", multi.Names[0])
+	}
+}
+
+func TestPipelineProcessFailurePropagates(t *testing.T) {
+	rt := testRuntime(t, 1)
+	var ran []string
+	src := DefinedFASTQPair("src", nil)
+	mid := UndefinedSAM("mid", nil)
+	end := UndefinedSAM("end", nil)
+	failing := newStub("boom", &ran, []Resource{src}, []Resource{mid})
+	failing.fail = errors.New("executor lost")
+	p := NewPipeline("fail", rt)
+	p.AddProcess(failing)
+	p.AddProcess(newStub("after", &ran, []Resource{mid}, []Resource{end}))
+	err := p.Run()
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+	// The dependent process must not have run.
+	for _, n := range ran {
+		if n == "after" {
+			t.Fatal("dependent process ran despite failure")
+		}
+	}
+	// The failing process's output must stay undefined.
+	if mid.State() == Defined {
+		t.Fatal("failed process output marked defined")
+	}
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gpf-go/gpf/internal/genome"
+)
+
+// PartitionInfo maps genomic positions to partition IDs (§4.4, Figs 8-9).
+// The base mapping divides every contig into fixed-length segments; the
+// split table refines overloaded partitions into smaller ones, renumbering
+// the final ID space densely.
+type PartitionInfo struct {
+	// PartitionLen is the bases per base-level partition (paper: 1,000,000).
+	PartitionLen int
+	// CountPerContig is the number of base partitions in each contig
+	// (Fig 8's "number of partitions contained in each contig").
+	CountPerContig []int
+	// StartID is the first base partition number of each contig (Fig 8's
+	// "starting number of the partition contained in each contig").
+	StartID []int
+	// contigLens retains contig lengths for interval reconstruction.
+	contigLens []int
+
+	// splitCount[p] is how many final partitions base partition p maps to
+	// (1 when unsplit). finalStart[p] is the first final ID of p, i.e. the
+	// partition split table of Fig 9.
+	splitCount []int
+	finalStart []int
+	total      int
+}
+
+// NewPartitionInfo builds the base mapping for the given contig lengths.
+func NewPartitionInfo(contigLens []int, partitionLen int) (*PartitionInfo, error) {
+	if partitionLen <= 0 {
+		return nil, fmt.Errorf("core: partition length must be positive")
+	}
+	pi := &PartitionInfo{
+		PartitionLen:   partitionLen,
+		CountPerContig: make([]int, len(contigLens)),
+		StartID:        make([]int, len(contigLens)),
+		contigLens:     append([]int(nil), contigLens...),
+	}
+	id := 0
+	for i, l := range contigLens {
+		if l < 0 {
+			return nil, fmt.Errorf("core: negative contig length %d", l)
+		}
+		n := (l + partitionLen - 1) / partitionLen
+		if n == 0 {
+			n = 1
+		}
+		pi.StartID[i] = id
+		pi.CountPerContig[i] = n
+		id += n
+	}
+	pi.splitCount = make([]int, id)
+	pi.finalStart = make([]int, id)
+	for p := range pi.splitCount {
+		pi.splitCount[p] = 1
+	}
+	pi.renumber()
+	return pi, nil
+}
+
+// renumber rebuilds the final ID space from the split counts.
+func (pi *PartitionInfo) renumber() {
+	id := 0
+	for p := range pi.splitCount {
+		pi.finalStart[p] = id
+		id += pi.splitCount[p]
+	}
+	pi.total = id
+}
+
+// BaseID returns the base (pre-split) partition ID of a position, exactly
+// the Fig 8 computation: segment base address + offset/partitionLen.
+func (pi *PartitionInfo) BaseID(contig, pos int) int {
+	if contig < 0 || contig >= len(pi.StartID) {
+		return -1
+	}
+	if pos < 0 {
+		pos = 0
+	}
+	off := pos / pi.PartitionLen
+	if off >= pi.CountPerContig[contig] {
+		off = pi.CountPerContig[contig] - 1
+	}
+	return pi.StartID[contig] + off
+}
+
+// Split registers that base partition p is divided into count final
+// partitions (Fig 9's split table) and renumbers the final ID space.
+func (pi *PartitionInfo) Split(p, count int) error {
+	if p < 0 || p >= len(pi.splitCount) {
+		return fmt.Errorf("core: split of unknown partition %d", p)
+	}
+	if count < 1 {
+		return fmt.Errorf("core: split count %d must be >= 1", count)
+	}
+	pi.splitCount[p] = count
+	pi.renumber()
+	return nil
+}
+
+// FinalID maps a position to its final partition ID through the split table,
+// exactly the Fig 9 computation.
+func (pi *PartitionInfo) FinalID(contig, pos int) int {
+	p := pi.BaseID(contig, pos)
+	if p < 0 {
+		return -1
+	}
+	count := pi.splitCount[p]
+	if count == 1 {
+		return pi.finalStart[p]
+	}
+	splitLen := pi.PartitionLen / count
+	if splitLen == 0 {
+		splitLen = 1
+	}
+	offsetInPartition := pos % pi.PartitionLen
+	idx := offsetInPartition / splitLen
+	if idx >= count {
+		idx = count - 1
+	}
+	return pi.finalStart[p] + idx
+}
+
+// NumPartitions returns the total number of final partitions.
+func (pi *PartitionInfo) NumPartitions() int { return pi.total }
+
+// NumBasePartitions returns the number of pre-split partitions.
+func (pi *PartitionInfo) NumBasePartitions() int { return len(pi.splitCount) }
+
+// Interval reconstructs the genomic interval of a final partition ID. The
+// second result is false for out-of-range IDs.
+func (pi *PartitionInfo) Interval(finalID int) (genome.Interval, bool) {
+	if finalID < 0 || finalID >= pi.total {
+		return genome.Interval{}, false
+	}
+	// Locate the base partition via binary search on finalStart.
+	p := sort.Search(len(pi.finalStart), func(i int) bool { return pi.finalStart[i] > finalID }) - 1
+	if p < 0 {
+		return genome.Interval{}, false
+	}
+	// Locate the contig via binary search on StartID.
+	c := sort.Search(len(pi.StartID), func(i int) bool { return pi.StartID[i] > p }) - 1
+	if c < 0 {
+		return genome.Interval{}, false
+	}
+	baseStart := (p - pi.StartID[c]) * pi.PartitionLen
+	count := pi.splitCount[p]
+	splitLen := pi.PartitionLen / count
+	if splitLen == 0 {
+		splitLen = 1
+	}
+	idx := finalID - pi.finalStart[p]
+	start := baseStart + idx*splitLen
+	end := start + splitLen
+	if idx == count-1 {
+		end = baseStart + pi.PartitionLen
+	}
+	if end > pi.contigLens[c] {
+		end = pi.contigLens[c]
+	}
+	if start > end {
+		start = end
+	}
+	return genome.Interval{Contig: c, Start: start, End: end}, true
+}

@@ -1,0 +1,476 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gpf-go/gpf/internal/align"
+	"github.com/gpf-go/gpf/internal/caller"
+	"github.com/gpf-go/gpf/internal/cleaner"
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/fastq"
+	"sort"
+
+	"github.com/gpf-go/gpf/internal/genome"
+	"github.com/gpf-go/gpf/internal/sam"
+	"github.com/gpf-go/gpf/internal/vcf"
+)
+
+// baseProcess implements the shared Process bookkeeping.
+type baseProcess struct {
+	name    string
+	inputs  []Resource
+	outputs []Resource
+}
+
+// ProcessName returns the user-assigned process name.
+func (p *baseProcess) ProcessName() string { return p.name }
+
+// Inputs returns the resources that must be defined before the process runs.
+func (p *baseProcess) Inputs() []Resource { return p.inputs }
+
+// Outputs returns the resources the process defines on completion.
+func (p *baseProcess) Outputs() []Resource { return p.outputs }
+
+// BwaMemProcess is the Aligner stage (Table 2: BwaMemProcess.pairEnd): maps
+// paired-end reads to the reference with the BWT-based aligner.
+type BwaMemProcess struct {
+	baseProcess
+	in  *FASTQPairBundle
+	out *SAMBundle
+}
+
+// NewBwaMemProcess constructs the aligner process.
+func NewBwaMemProcess(name string, in *FASTQPairBundle, out *SAMBundle) *BwaMemProcess {
+	return &BwaMemProcess{
+		baseProcess: baseProcess{name: name, inputs: []Resource{in}, outputs: []Resource{out}},
+		in:          in, out: out,
+	}
+}
+
+// Run aligns every pair, producing two SAM records per pair.
+func (p *BwaMemProcess) Run(rt *Runtime) error {
+	idx, err := rt.Index()
+	if err != nil {
+		return err
+	}
+	aligner := align.NewAligner(idx, rt.AlignerConfig)
+	recs, err := engine.MapPartitions(p.name+"/bwa-mem", p.in.Data, rt.samCodec(),
+		func(_ int, pairs []fastq.Pair) ([]sam.Record, error) {
+			out := make([]sam.Record, 0, 2*len(pairs))
+			for i := range pairs {
+				r1, r2 := aligner.AlignPair(&pairs[i])
+				out = append(out, r1, r2)
+			}
+			return out, nil
+		})
+	if err != nil {
+		return err
+	}
+	p.out.Data = recs
+	return nil
+}
+
+// MarkDuplicateProcess is the first Cleaner step (Table 2): shuffle records
+// by duplicate-signature group, sort, and mark duplicates.
+type MarkDuplicateProcess struct {
+	baseProcess
+	in  *SAMBundle
+	out *SAMBundle
+}
+
+// NewMarkDuplicateProcess constructs the duplicate-marking process.
+func NewMarkDuplicateProcess(name string, in, out *SAMBundle) *MarkDuplicateProcess {
+	return &MarkDuplicateProcess{
+		baseProcess: baseProcess{name: name, inputs: []Resource{in}, outputs: []Resource{out}},
+		in:          in, out: out,
+	}
+}
+
+// Run shuffles by fragment signature and marks duplicates per partition.
+func (p *MarkDuplicateProcess) Run(rt *Runtime) error {
+	flat, err := p.in.EnsureFlat(rt)
+	if err != nil {
+		return err
+	}
+	grouped, err := engine.PartitionBy(p.name+"/group",
+		engine.WithCodec(flat, rt.samCodec()), rt.NumPartitions,
+		func(r sam.Record) int { return cleaner.GroupKey(&r) })
+	if err != nil {
+		return err
+	}
+	marked, err := engine.MapPartitions(p.name+"/mark", grouped, rt.samCodec(),
+		func(_ int, recs []sam.Record) ([]sam.Record, error) {
+			out := append([]sam.Record(nil), recs...)
+			cleaner.SortByCoordinate(out)
+			cleaner.MarkDuplicates(out)
+			return out, nil
+		})
+	if err != nil {
+		return err
+	}
+	p.out.Data = marked
+	if p.out.Header == nil && p.in.Header != nil {
+		p.out.Header = p.in.Header.Clone(sam.Coordinate)
+	}
+	return nil
+}
+
+// ReadRepartitionerProcess (Table 2's ReadRepartitioner, §4.4's
+// RepartitionInfoProducer) builds the PartitionInfo: equal-length base
+// partitions, a read census via a distributed reduce, and splits of
+// overloaded partitions.
+type ReadRepartitionerProcess struct {
+	baseProcess
+	ins []*SAMBundle
+	out *PartitionInfoBundle
+	// AdvisedPartitionLength overrides the runtime's PartitionLen when set.
+	AdvisedPartitionLength int
+}
+
+// NewReadRepartitionerProcess constructs the repartitioner over the given
+// SAM inputs.
+func NewReadRepartitionerProcess(name string, ins []*SAMBundle, out *PartitionInfoBundle) *ReadRepartitionerProcess {
+	inputs := make([]Resource, len(ins))
+	for i, b := range ins {
+		inputs[i] = b
+	}
+	return &ReadRepartitionerProcess{
+		baseProcess: baseProcess{name: name, inputs: inputs, outputs: []Resource{out}},
+		ins:         ins, out: out,
+	}
+}
+
+// Run builds the PartitionInfo and broadcasts it (§4.4 step 2 creates
+// broadcast variables from the contig start-ID structure).
+func (p *ReadRepartitionerProcess) Run(rt *Runtime) error {
+	partLen := rt.PartitionLen
+	if p.AdvisedPartitionLength > 0 {
+		partLen = p.AdvisedPartitionLength
+	}
+	info, err := NewPartitionInfo(rt.Ref.Lengths(), partLen)
+	if err != nil {
+		return err
+	}
+	// Census: reads per base partition, reduced to the driver.
+	counts := map[int]int{}
+	for _, in := range p.ins {
+		flat, err := in.EnsureFlat(rt)
+		if err != nil {
+			return err
+		}
+		c, err := engine.CountByKey(p.name+"/census", flat, func(r sam.Record) int {
+			if r.RefID < 0 {
+				return 0
+			}
+			return info.BaseID(int(r.RefID), int(r.Pos))
+		})
+		if err != nil {
+			return err
+		}
+		for k, v := range c {
+			counts[k] += v
+		}
+	}
+	// Threshold: factor × the median reads per non-empty partition. The
+	// median reflects typical load — hotspot partitions would inflate a
+	// mean and hide themselves from splitting (§4.4's segmentation
+	// threshold is set by the driver after the census).
+	if len(counts) > 0 {
+		all := make([]int, 0, len(counts))
+		for _, v := range counts {
+			all = append(all, v)
+		}
+		sortInts(all)
+		median := float64(all[len(all)/2])
+		threshold := median * rt.SplitThresholdFactor
+		if threshold < 1 {
+			threshold = 1
+		}
+		for part, v := range counts {
+			if float64(v) > threshold {
+				splits := int(float64(v)/threshold) + 1
+				if err := info.Split(part, splits); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	engine.NewBroadcast(rt.Engine, p.name+"/broadcast-partition-info", info,
+		int64(16*(info.NumBasePartitions()+len(info.StartID))))
+	p.out.Info = info
+	return nil
+}
+
+func sortInts(a []int) {
+	sort.Ints(a)
+}
+
+// partitionBase carries the shared mechanics of partition Processes
+// (IndelRealign, BQSR, HaplotypeCaller): the bundle input resolution and the
+// optimizer's fuse flag.
+type partitionBase struct {
+	baseProcess
+	samIn     *SAMBundle
+	infoIn    *PartitionInfoBundle
+	useBundle bool
+}
+
+func (p *partitionBase) samInput() *SAMBundle  { return p.samIn }
+func (p *partitionBase) setUseBundle(use bool) { p.useBundle = use }
+
+// bundles resolves the input bundle dataset per the fuse decision.
+func (p *partitionBase) bundles(rt *Runtime) (*engine.Dataset[Bundle], *PartitionInfo, error) {
+	info := p.infoIn.Info
+	if p.useBundle && p.samIn.Info != nil {
+		info = p.samIn.Info
+	}
+	if info == nil {
+		return nil, nil, fmt.Errorf("core: process %s: no partition info", p.name)
+	}
+	ds, err := bundleInput(rt, p.name, p.samIn, info, p.useBundle)
+	return ds, info, err
+}
+
+// emitSAM stores the bundle result on the output resource: bundled when the
+// optimizer fused the chain, flattened otherwise (Fig 7a merges after each
+// partition Process).
+func (p *partitionBase) emitSAM(rt *Runtime, out *SAMBundle, bundled *engine.Dataset[Bundle], info *PartitionInfo) error {
+	out.Bundled = bundled
+	out.Info = info
+	if p.useBundle {
+		// Fused chain: leave the bundled form for the next process.
+		return nil
+	}
+	flat, err := flattenBundles(rt, p.name, bundled)
+	if err != nil {
+		return err
+	}
+	out.Data = flat
+	return nil
+}
+
+// IndelRealignProcess adjusts alignments around candidate indels (Table 2).
+type IndelRealignProcess struct {
+	partitionBase
+	out *SAMBundle
+}
+
+// NewIndelRealignProcess constructs the realignment process.
+func NewIndelRealignProcess(name string, info *PartitionInfoBundle, in, out *SAMBundle) *IndelRealignProcess {
+	return &IndelRealignProcess{
+		partitionBase: partitionBase{
+			baseProcess: baseProcess{name: name, inputs: []Resource{info, in}, outputs: []Resource{out}},
+			samIn:       in, infoIn: info,
+		},
+		out: out,
+	}
+}
+
+// Run realigns each bundle partition.
+func (p *IndelRealignProcess) Run(rt *Runtime) error {
+	bundled, info, err := p.bundles(rt)
+	if err != nil {
+		return err
+	}
+	sc := rt.AlignerConfig.Scoring
+	next, err := engine.Map(p.name+"/realign", bundled, nil, func(b Bundle) Bundle {
+		recs := append([]sam.Record(nil), b.Sams...)
+		cleaner.RealignIndels(recs, rt.Ref, sc)
+		b.Sams = recs
+		return b
+	})
+	if err != nil {
+		return err
+	}
+	if p.out.Header == nil && p.samIn.Header != nil {
+		p.out.Header = p.samIn.Header.Clone(sam.Coordinate)
+	}
+	return p.emitSAM(rt, p.out, next, info)
+}
+
+// BaseRecalibrationProcess adjusts base quality scores (Table 2). Pass 1
+// builds covariate tables per partition and reduces them on the driver; the
+// merged table broadcast is the serial Collect step of §5.2.2. Pass 2
+// rewrites qualities in parallel.
+type BaseRecalibrationProcess struct {
+	partitionBase
+	out *SAMBundle
+}
+
+// NewBaseRecalibrationProcess constructs the BQSR process.
+func NewBaseRecalibrationProcess(name string, info *PartitionInfoBundle, in, out *SAMBundle) *BaseRecalibrationProcess {
+	return &BaseRecalibrationProcess{
+		partitionBase: partitionBase{
+			baseProcess: baseProcess{name: name, inputs: []Resource{info, in}, outputs: []Resource{out}},
+			samIn:       in, infoIn: info,
+		},
+		out: out,
+	}
+}
+
+// Run executes the two BQSR passes.
+func (p *BaseRecalibrationProcess) Run(rt *Runtime) error {
+	bundled, info, err := p.bundles(rt)
+	if err != nil {
+		return err
+	}
+	// Pass 1: per-partition covariate tables.
+	tables, err := engine.MapPartitions(p.name+"/count-covariates", bundled, nil,
+		func(_ int, bs []Bundle) ([]*cleaner.RecalTable, error) {
+			var out []*cleaner.RecalTable
+			for i := range bs {
+				known := knownSitesFunc(rt, bs[i].Known)
+				out = append(out, cleaner.BuildRecalTable(bs[i].Sams, rt.Ref, known))
+			}
+			return out, nil
+		})
+	if err != nil {
+		return err
+	}
+	merged, found, err := engine.Reduce(p.name+"/collect", tables,
+		func(a, b *cleaner.RecalTable) *cleaner.RecalTable { return a.Merge(b) })
+	if err != nil {
+		return err
+	}
+	if !found {
+		merged = &cleaner.RecalTable{}
+	}
+	// The multi-gigabyte mask table broadcast of §5.2.2: the serial step
+	// that throttles BQSR's parallel efficiency.
+	bc := engine.NewBroadcast(rt.Engine, p.name+"/broadcast-mask-table", merged, merged.SizeBytes())
+	// Pass 2: apply.
+	next, err := engine.Map(p.name+"/apply-recalibration", bundled, nil, func(b Bundle) Bundle {
+		recs := append([]sam.Record(nil), b.Sams...)
+		if err := cleaner.ApplyRecalibration(recs, bc.Value); err == nil {
+			b.Sams = recs
+		}
+		return b
+	})
+	if err != nil {
+		return err
+	}
+	if p.out.Header == nil && p.samIn.Header != nil {
+		p.out.Header = p.samIn.Header.Clone(sam.Coordinate)
+	}
+	return p.emitSAM(rt, p.out, next, info)
+}
+
+// knownSitesFunc builds a mask over the partition's known variants.
+func knownSitesFunc(rt *Runtime, known []vcf.Record) cleaner.KnownSites {
+	if len(known) == 0 {
+		return nil
+	}
+	mask := make(map[int64]bool, len(known))
+	for _, v := range known {
+		contig, ok := rt.Ref.ContigID(v.Chrom)
+		if !ok {
+			continue
+		}
+		for off := 0; off < len(v.Ref); off++ {
+			mask[int64(contig)<<40|int64(v.Pos+off)] = true
+		}
+	}
+	return func(contig, pos int) bool {
+		return mask[int64(contig)<<40|int64(pos)]
+	}
+}
+
+// HaplotypeCallerProcess calls variants per partition via local assembly and
+// the pair-HMM (Table 2).
+type HaplotypeCallerProcess struct {
+	partitionBase
+	out     *VCFBundle
+	UseGVCF bool
+}
+
+// NewHaplotypeCallerProcess constructs the caller process.
+func NewHaplotypeCallerProcess(name string, info *PartitionInfoBundle, in *SAMBundle, out *VCFBundle, useGVCF bool) *HaplotypeCallerProcess {
+	return &HaplotypeCallerProcess{
+		partitionBase: partitionBase{
+			baseProcess: baseProcess{name: name, inputs: []Resource{info, in}, outputs: []Resource{out}},
+			samIn:       in, infoIn: info,
+		},
+		out:     out,
+		UseGVCF: useGVCF,
+	}
+}
+
+// Run calls variants in every bundle partition, restricting emitted records
+// to the partition's core interval so overlapping pads don't double-call.
+func (p *HaplotypeCallerProcess) Run(rt *Runtime) error {
+	bundled, _, err := p.bundles(rt)
+	if err != nil {
+		return err
+	}
+	cfg := rt.CallerConfig
+	calls, err := engine.MapPartitions(p.name+"/haplotype-caller", bundled, nil,
+		func(_ int, bs []Bundle) ([]vcf.Record, error) {
+			var out []vcf.Record
+			for i := range bs {
+				b := &bs[i]
+				// Each active region is genotyped by the partition owning
+				// its midpoint, so regions in the overlap pads are not
+				// recomputed by the neighbours.
+				var keep func(genome.Interval) bool
+				if b.Interval.Len() > 0 {
+					core := b.Interval
+					keep = func(region genome.Interval) bool {
+						return core.Contains(region.Contig, (region.Start+region.End)/2)
+					}
+				}
+				// Every variant of an owned region is emitted: regions are
+				// owned by exactly one partition, and the driver-side
+				// collect dedupes the rare same-site calls from adjacent
+				// partitions' distinct regions.
+				calls := caller.CallVariantsFiltered(b.Sams, rt.Ref, cfg, keep)
+				if p.UseGVCF && b.Interval.Len() > 0 {
+					blocks := caller.ReferenceBlocks(b.Sams, rt.Ref, b.Interval, calls, cfg.MinActiveDepth)
+					calls = caller.MergeGVCF(calls, blocks)
+				}
+				out = append(out, calls...)
+			}
+			return out, nil
+		})
+	if err != nil {
+		return err
+	}
+	p.out.Data = calls
+	if p.out.Header == nil {
+		p.out.Header = vcf.NewHeader(refNames(rt), rt.Ref.Lengths(), "sample")
+	}
+	return nil
+}
+
+func refNames(rt *Runtime) []string {
+	names := make([]string, rt.Ref.NumContigs())
+	for i := range names {
+		names[i] = rt.Ref.Contigs[i].Name
+	}
+	return names
+}
+
+// CollectVCF gathers and sorts the final call set (the driver-side read of
+// the ResultVCF resource).
+func CollectVCF(rt *Runtime, b *VCFBundle) ([]vcf.Record, error) {
+	if b.Data == nil {
+		return nil, fmt.Errorf("core: VCF bundle %q holds no data", b.ResourceName())
+	}
+	out, err := engine.Collect(b.ResourceName()+"/collect", b.Data)
+	if err != nil {
+		return nil, err
+	}
+	vcf.SortRecords(out)
+	// Dedupe identical calls produced by adjacent partitions whose active
+	// regions overlapped in the pad zones.
+	dedup := out[:0]
+	for i, r := range out {
+		if i > 0 {
+			p := dedup[len(dedup)-1]
+			if p.Chrom == r.Chrom && p.Pos == r.Pos && p.Ref == r.Ref && p.Alt == r.Alt {
+				continue
+			}
+		}
+		dedup = append(dedup, r)
+	}
+	return dedup, nil
+}

@@ -1,0 +1,109 @@
+// Package core implements the GPF programming model — the paper's primary
+// contribution. Users describe a genomic pipeline as Processes connected by
+// Resources (§3.1, Fig 2); the Pipeline driver performs the Process-level
+// dependency analysis of Algorithm 1, applies the redundancy-elimination
+// rewrite of Fig 7 (fusing chains of partition Processes so FASTA/VCF
+// re-partitioning and join shuffles happen once), and executes everything on
+// the in-memory engine. Dynamic load balance follows §4.4: a
+// RepartitionInfoProducer builds the PartitionInfo structure (Figs 8-9) that
+// maps genomic positions to partition IDs, splitting overloaded partitions.
+package core
+
+import (
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/fastq"
+	"github.com/gpf-go/gpf/internal/sam"
+	"github.com/gpf-go/gpf/internal/vcf"
+)
+
+// ResourceState is the two-state machine of Fig 2.
+type ResourceState int
+
+// Resource states: a Resource is Undefined until some Process (or the user)
+// fills it, after which dependent Processes become ready.
+const (
+	Undefined ResourceState = iota
+	Defined
+)
+
+// Resource is the abstraction of data flowing between Processes: named,
+// stateful, filled exactly once.
+type Resource interface {
+	ResourceName() string
+	State() ResourceState
+	setDefined()
+}
+
+// baseResource implements the shared Resource mechanics; concrete bundles
+// embed it.
+type baseResource struct {
+	name  string
+	state ResourceState
+}
+
+// ResourceName returns the user-assigned resource name.
+func (r *baseResource) ResourceName() string { return r.name }
+
+// State returns Defined once the resource content has been filled.
+func (r *baseResource) State() ResourceState { return r.state }
+
+func (r *baseResource) setDefined() { r.state = Defined }
+
+// FASTQPairBundle is a Resource holding paired-end reads.
+type FASTQPairBundle struct {
+	baseResource
+	Data *engine.Dataset[fastq.Pair]
+}
+
+// DefinedFASTQPair creates an already-filled FASTQ pair bundle (the
+// FASTQPairBundle.defined of Fig 3).
+func DefinedFASTQPair(name string, data *engine.Dataset[fastq.Pair]) *FASTQPairBundle {
+	b := &FASTQPairBundle{baseResource: baseResource{name: name, state: Defined}, Data: data}
+	return b
+}
+
+// SAMBundle is a Resource holding alignments. It carries either the flat
+// record dataset, the position-partitioned bundle dataset built by a
+// partition Process (the Fig 7b fused form), or both.
+type SAMBundle struct {
+	baseResource
+	Header  *sam.Header
+	Data    *engine.Dataset[sam.Record]
+	Bundled *engine.Dataset[Bundle]
+	// Info is the PartitionInfo the bundled form was built with.
+	Info *PartitionInfo
+}
+
+// UndefinedSAM creates an empty SAM bundle to be filled by a Process (the
+// SAMBundle.undefined of Fig 3).
+func UndefinedSAM(name string, header *sam.Header) *SAMBundle {
+	return &SAMBundle{baseResource: baseResource{name: name}, Header: header}
+}
+
+// DefinedSAM creates an already-filled SAM bundle.
+func DefinedSAM(name string, header *sam.Header, data *engine.Dataset[sam.Record]) *SAMBundle {
+	return &SAMBundle{baseResource: baseResource{name: name, state: Defined}, Header: header, Data: data}
+}
+
+// VCFBundle is a Resource holding variant calls.
+type VCFBundle struct {
+	baseResource
+	Header *vcf.Header
+	Data   *engine.Dataset[vcf.Record]
+}
+
+// UndefinedVCF creates an empty VCF bundle to be filled by a Process.
+func UndefinedVCF(name string, header *vcf.Header) *VCFBundle {
+	return &VCFBundle{baseResource: baseResource{name: name}, Header: header}
+}
+
+// PartitionInfoBundle is a Resource holding the dynamic partition map.
+type PartitionInfoBundle struct {
+	baseResource
+	Info *PartitionInfo
+}
+
+// UndefinedPartitionInfo creates an empty PartitionInfo bundle.
+func UndefinedPartitionInfo(name string) *PartitionInfoBundle {
+	return &PartitionInfoBundle{baseResource: baseResource{name: name}}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/genome"
+	"github.com/gpf-go/gpf/internal/sam"
+)
+
+// sortedPipeline aligns reads and runs the explicit sort + index Processes.
+func sortedPipeline(t *testing.T) (*Runtime, *SAMBundle, *SAMIndex) {
+	t.Helper()
+	rt := testRuntime(t, 2)
+	pairs := simPairs(t, rt, 8)
+	fq := DefinedFASTQPair("f", PairsToRDD(rt, pairs, 4))
+	aligned := UndefinedSAM("aligned", unsortedHeader(rt))
+	sorted := UndefinedSAM("sorted", nil)
+	index := UndefinedSAMIndex("index")
+	p := NewPipeline("sortindex", rt)
+	p.AddProcess(NewBwaMemProcess("bwa", fq, aligned))
+	p.AddProcess(NewCoordinateSortProcess("sort", aligned, sorted))
+	p.AddProcess(NewIndexProcess("index", sorted, index))
+	if err := p.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rt, sorted, index
+}
+
+func TestCoordinateSortGlobalOrder(t *testing.T) {
+	rt, sorted, _ := sortedPipeline(t)
+	recs, err := engine.Collect("all", sorted.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("no records")
+	}
+	for i := 1; i < len(recs); i++ {
+		if sam.CoordinateLess(&recs[i], &recs[i-1]) {
+			t.Fatalf("records %d/%d out of genome order: %d:%d after %d:%d",
+				i-1, i, recs[i].RefID, recs[i].Pos, recs[i-1].RefID, recs[i-1].Pos)
+		}
+	}
+	if sorted.Header == nil || sorted.Header.Sort != sam.Coordinate {
+		t.Fatal("header sort order not updated")
+	}
+	_ = rt
+}
+
+func TestIndexSpansAndQuery(t *testing.T) {
+	rt, sorted, index := sortedPipeline(t)
+	if len(index.Entries) == 0 {
+		t.Fatal("no index entries")
+	}
+	// Every mapped record is found by querying its own position.
+	recs, err := engine.Collect("all", sorted.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probe *sam.Record
+	for i := range recs {
+		if !recs[i].Unmapped() {
+			probe = &recs[i]
+			break
+		}
+	}
+	if probe == nil {
+		t.Fatal("no mapped records")
+	}
+	iv := genome.Interval{Contig: int(probe.RefID), Start: int(probe.Pos), End: int(probe.Pos) + 1}
+	hits, err := index.Query(rt, iv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for i := range hits {
+		if hits[i].Name == probe.Name && hits[i].Pos == probe.Pos {
+			found = true
+		}
+		// Every hit must overlap the query.
+		if int(hits[i].Pos) >= iv.End || int(hits[i].End()) <= iv.Start {
+			t.Fatalf("hit %s at %d does not overlap query", hits[i].Name, hits[i].Pos)
+		}
+	}
+	if !found {
+		t.Fatal("probe record not returned by its own query")
+	}
+	// Queries beyond the genome return nothing.
+	empty, err := index.Query(rt, genome.Interval{Contig: 99, Start: 0, End: 100})
+	if err != nil || empty != nil {
+		t.Fatalf("off-genome query = %v, %v", empty, err)
+	}
+}
+
+func TestIndexQueryBeforeBuild(t *testing.T) {
+	rt := testRuntime(t, 1)
+	ix := UndefinedSAMIndex("ix")
+	if _, err := ix.Query(rt, genome.Interval{}); err == nil {
+		t.Fatal("querying an unbuilt index must error")
+	}
+}
+
+func TestIndexCountsAllRecords(t *testing.T) {
+	_, sorted, index := sortedPipeline(t)
+	total := 0
+	for _, e := range index.Entries {
+		total += e.Records
+	}
+	n, err := engine.Count("n", sorted.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != n {
+		t.Fatalf("index records %d != dataset %d", total, n)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/fastq"
+	"github.com/gpf-go/gpf/internal/sam"
+	"github.com/gpf-go/gpf/internal/vcf"
+)
+
+// WGSPipeline bundles the constructed pipeline with handles to its terminal
+// resources, so callers can collect results after Run.
+type WGSPipeline struct {
+	Pipeline  *Pipeline
+	Aligned   *SAMBundle
+	Deduped   *SAMBundle
+	Realigned *SAMBundle
+	Recaled   *SAMBundle
+	VCF       *VCFBundle
+}
+
+// BuildWGSPipeline assembles the paper's example pipeline (Fig 3):
+// BWA-MEM alignment, duplicate marking, dynamic repartitioning, indel
+// realignment, base recalibration, and haplotype calling.
+func BuildWGSPipeline(rt *Runtime, pairs *engine.Dataset[fastq.Pair], useGVCF bool) *WGSPipeline {
+	pipeline := NewPipeline("wgs", rt)
+
+	fastqBundle := DefinedFASTQPair("fastqPair", pairs)
+	aligned := UndefinedSAM("alignedSam", unsortedHeader(rt))
+	pipeline.AddProcess(NewBwaMemProcess("BwaMapping", fastqBundle, aligned))
+
+	deduped := UndefinedSAM("dedupedSam", nil)
+	pipeline.AddProcess(NewMarkDuplicateProcess("MarkDuplicate", aligned, deduped))
+
+	partInfo := UndefinedPartitionInfo("partitionInfo")
+	pipeline.AddProcess(NewReadRepartitionerProcess("ReadRepartitioner", []*SAMBundle{deduped}, partInfo))
+
+	realigned := UndefinedSAM("realignedSam", nil)
+	pipeline.AddProcess(NewIndelRealignProcess("IndelRealign", partInfo, deduped, realigned))
+
+	recaled := UndefinedSAM("recaledSam", nil)
+	pipeline.AddProcess(NewBaseRecalibrationProcess("BaseRecalibration", partInfo, realigned, recaled))
+
+	result := UndefinedVCF("ResultVCF", vcf.NewHeader(refNames(rt), rt.Ref.Lengths(), "sample"))
+	pipeline.AddProcess(NewHaplotypeCallerProcess("HaplotypeCaller", partInfo, recaled, result, useGVCF))
+
+	return &WGSPipeline{
+		Pipeline:  pipeline,
+		Aligned:   aligned,
+		Deduped:   deduped,
+		Realigned: realigned,
+		Recaled:   recaled,
+		VCF:       result,
+	}
+}
+
+func unsortedHeader(rt *Runtime) *sam.Header {
+	h, _ := sam.NewHeader(sam.Unsorted, refNames(rt), rt.Ref.Lengths())
+	return h
+}

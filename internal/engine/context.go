@@ -1,0 +1,106 @@
+// Package engine implements the in-memory dataflow engine underneath GPF —
+// the stand-in for Apache Spark in this reproduction. Datasets are split into
+// partitions processed by a worker pool; narrow operations (map, filter,
+// flatMap) transform partitions in place in the task graph, wide operations
+// (partitionBy, union+shuffle, sort) move data through a hash shuffle whose
+// byte volume is charged through a pluggable serializer; actions (collect,
+// reduce) return data to the driver. Per-task and per-stage metrics (wall
+// time, shuffle bytes, serialization time, GC pauses) feed the cluster
+// simulator and the blocked-time analysis of §5.3.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Serializer turns a batch of records into one byte block and back. It is the
+// engine's equivalent of a Spark serializer; the compress package provides
+// genomic-aware implementations, and gobSerializer is the built-in generic
+// fallback (the "Java serialization" tier).
+type Serializer[T any] interface {
+	Name() string
+	Marshal([]T) ([]byte, error)
+	Unmarshal([]byte) ([]T, error)
+}
+
+// Context owns the worker pool and the metrics of one engine session. The
+// zero value is not usable; create one with NewContext.
+type Context struct {
+	workers int
+
+	// StoreSerialized keeps dataset partitions as serialized byte blocks
+	// whenever a codec is attached — Spark's MEMORY_ONLY_SER mode that GPF
+	// relies on (§4.2). Off by default.
+	StoreSerialized bool
+
+	mu      sync.Mutex
+	metrics Metrics
+}
+
+// NewContext creates an engine context with the given worker parallelism
+// (the local stand-in for cluster cores). workers < 1 selects GOMAXPROCS.
+func NewContext(workers int) *Context {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Context{workers: workers}
+}
+
+// Workers returns the configured parallelism.
+func (c *Context) Workers() int { return c.workers }
+
+// Metrics returns a snapshot of the accumulated metrics.
+func (c *Context) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics.clone()
+}
+
+// ResetMetrics clears accumulated metrics (between experiments).
+func (c *Context) ResetMetrics() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = Metrics{}
+}
+
+// recordStage appends a finished stage to the metrics.
+func (c *Context) recordStage(s StageMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.ID = len(c.metrics.Stages)
+	c.metrics.Stages = append(c.metrics.Stages, s)
+}
+
+// runTasks executes fn for every partition index in [0, n) on the worker
+// pool, collecting per-task metrics. The first error (or recovered panic)
+// aborts the run and is returned.
+func (c *Context) runTasks(n int, fn func(task int, tm *TaskMetrics) error) ([]TaskMetrics, error) {
+	tms := make([]TaskMetrics, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, c.workers)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(task int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[task] = fmt.Errorf("engine: task %d panicked: %v", task, r)
+				}
+			}()
+			tms[task].Partition = task
+			errs[task] = fn(task, &tms[task])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return tms, err
+		}
+	}
+	return tms, nil
+}

@@ -1,0 +1,166 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Dataset is a partitioned in-memory collection — the engine's RDD. A
+// dataset lives either materialized (parts) or serialized (blocks, when a
+// codec is attached and the context stores serialized). Datasets are
+// immutable: operations return new datasets.
+type Dataset[T any] struct {
+	ctx    *Context
+	parts  [][]T
+	blocks [][]byte
+	codec  Serializer[T]
+}
+
+// gobSerializer is the built-in generic fallback codec, standing in for Java
+// serialization when no genomic codec is attached.
+type gobSerializer[T any] struct{}
+
+func (gobSerializer[T]) Name() string { return "gob" }
+
+func (gobSerializer[T]) Marshal(items []T) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(items); err != nil {
+		return nil, fmt.Errorf("engine: gob encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func (gobSerializer[T]) Unmarshal(data []byte) ([]T, error) {
+	var items []T
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&items); err != nil {
+		return nil, fmt.Errorf("engine: gob decode: %w", err)
+	}
+	return items, nil
+}
+
+// Parallelize distributes items over numPartitions partitions, preserving
+// order (contiguous chunks).
+func Parallelize[T any](ctx *Context, items []T, numPartitions int) *Dataset[T] {
+	if numPartitions < 1 {
+		numPartitions = 1
+	}
+	parts := make([][]T, numPartitions)
+	chunk := (len(items) + numPartitions - 1) / numPartitions
+	for i := 0; i < numPartitions; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if lo > len(items) {
+			lo = len(items)
+		}
+		if hi > len(items) {
+			hi = len(items)
+		}
+		parts[i] = items[lo:hi]
+	}
+	return &Dataset[T]{ctx: ctx, parts: parts}
+}
+
+// FromPartitions wraps pre-partitioned data.
+func FromPartitions[T any](ctx *Context, parts [][]T) *Dataset[T] {
+	return &Dataset[T]{ctx: ctx, parts: parts}
+}
+
+// WithCodec attaches a serializer to the dataset; subsequent stage outputs
+// are stored serialized when ctx.StoreSerialized is set, and shuffles use the
+// codec for byte accounting.
+func WithCodec[T any](d *Dataset[T], codec Serializer[T]) *Dataset[T] {
+	return &Dataset[T]{ctx: d.ctx, parts: d.parts, blocks: d.blocks, codec: codec}
+}
+
+// Codec returns the attached serializer (nil when none).
+func (d *Dataset[T]) Codec() Serializer[T] { return d.codec }
+
+// Context returns the owning context.
+func (d *Dataset[T]) Context() *Context { return d.ctx }
+
+// NumPartitions returns the partition count.
+func (d *Dataset[T]) NumPartitions() int {
+	if d.blocks != nil {
+		return len(d.blocks)
+	}
+	return len(d.parts)
+}
+
+// effectiveCodec returns the attached codec or the gob fallback.
+func (d *Dataset[T]) effectiveCodec() Serializer[T] {
+	if d.codec != nil {
+		return d.codec
+	}
+	return gobSerializer[T]{}
+}
+
+// partition materializes partition p, decoding when stored serialized, and
+// charges codec time to tm when non-nil.
+func (d *Dataset[T]) partition(p int, tm *TaskMetrics) ([]T, error) {
+	if d.blocks != nil {
+		start := time.Now()
+		items, err := d.effectiveCodec().Unmarshal(d.blocks[p])
+		if err != nil {
+			return nil, fmt.Errorf("engine: decode partition %d: %w", p, err)
+		}
+		if tm != nil {
+			tm.SerializeTime += time.Since(start)
+		}
+		return items, nil
+	}
+	return d.parts[p], nil
+}
+
+// storePartition stores out as partition p of the result; when serialized
+// storage is active and a codec is attached, it encodes and charges tm.
+func storePartition[T any](res *Dataset[T], p int, out []T, tm *TaskMetrics) error {
+	if res.blocks != nil {
+		start := time.Now()
+		block, err := res.effectiveCodec().Marshal(out)
+		if err != nil {
+			return fmt.Errorf("engine: encode partition %d: %w", p, err)
+		}
+		if tm != nil {
+			tm.SerializeTime += time.Since(start)
+		}
+		res.blocks[p] = block
+		return nil
+	}
+	res.parts[p] = out
+	return nil
+}
+
+// newResult allocates the output dataset for n partitions, carrying over the
+// codec and choosing the storage mode.
+func newResult[T any](ctx *Context, codec Serializer[T], n int) *Dataset[T] {
+	res := &Dataset[T]{ctx: ctx, codec: codec}
+	if ctx.StoreSerialized && codec != nil {
+		res.blocks = make([][]byte, n)
+	} else {
+		res.parts = make([][]T, n)
+	}
+	return res
+}
+
+// MemoryBytes estimates the resident size of the dataset: exact for
+// serialized storage, codec-estimated otherwise (encoding a sample is too
+// invasive, so materialized datasets report 0 and callers use SizeOf).
+func (d *Dataset[T]) MemoryBytes() int64 {
+	var n int64
+	for _, b := range d.blocks {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// gcPauseDelta measures GC pause time across fn.
+func gcPauseDelta(fn func() error) (time.Duration, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	err := fn()
+	runtime.ReadMemStats(&after)
+	return time.Duration(after.PauseTotalNs - before.PauseTotalNs), err
+}

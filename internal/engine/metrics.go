@@ -1,0 +1,164 @@
+package engine
+
+import "time"
+
+// StageKind classifies a stage for the metrics consumers.
+type StageKind int
+
+// Stage kinds. Shuffle stages move data between partitions; narrow stages
+// transform partitions in place; action stages return data to the driver.
+const (
+	StageNarrow StageKind = iota
+	StageShuffle
+	StageAction
+)
+
+// String names the stage kind.
+func (k StageKind) String() string {
+	switch k {
+	case StageShuffle:
+		return "shuffle"
+	case StageAction:
+		return "action"
+	default:
+		return "narrow"
+	}
+}
+
+// TaskMetrics records one task's execution.
+type TaskMetrics struct {
+	Partition         int
+	Wall              time.Duration
+	SerializeTime     time.Duration // time spent in codec calls
+	ShuffleReadBytes  int64
+	ShuffleWriteBytes int64
+	InputItems        int
+	OutputItems       int
+}
+
+// StageMetrics records one stage.
+type StageMetrics struct {
+	ID    int
+	Name  string
+	Kind  StageKind
+	Tasks []TaskMetrics
+	// GCPause is the delta of runtime GC pause time observed across the
+	// stage (driver-wide, attributed to the stage that triggered it).
+	GCPause time.Duration
+	// DriverTime is serial time spent on the driver (actions, broadcast).
+	DriverTime time.Duration
+}
+
+// ShuffleReadBytes sums shuffle-read bytes across tasks.
+func (s *StageMetrics) ShuffleReadBytes() int64 {
+	var n int64
+	for i := range s.Tasks {
+		n += s.Tasks[i].ShuffleReadBytes
+	}
+	return n
+}
+
+// ShuffleWriteBytes sums shuffle-write bytes across tasks.
+func (s *StageMetrics) ShuffleWriteBytes() int64 {
+	var n int64
+	for i := range s.Tasks {
+		n += s.Tasks[i].ShuffleWriteBytes
+	}
+	return n
+}
+
+// TaskTime sums task wall time (the "core time" of the stage).
+func (s *StageMetrics) TaskTime() time.Duration {
+	var d time.Duration
+	for i := range s.Tasks {
+		d += s.Tasks[i].Wall
+	}
+	return d
+}
+
+// MaxTaskTime returns the slowest task's wall time (stage critical path under
+// unlimited parallelism).
+func (s *StageMetrics) MaxTaskTime() time.Duration {
+	var d time.Duration
+	for i := range s.Tasks {
+		if s.Tasks[i].Wall > d {
+			d = s.Tasks[i].Wall
+		}
+	}
+	return d
+}
+
+// SerializeTime sums codec time across tasks.
+func (s *StageMetrics) SerializeTime() time.Duration {
+	var d time.Duration
+	for i := range s.Tasks {
+		d += s.Tasks[i].SerializeTime
+	}
+	return d
+}
+
+// Metrics aggregates all stages of a session.
+type Metrics struct {
+	Stages []StageMetrics
+}
+
+func (m Metrics) clone() Metrics {
+	out := Metrics{Stages: make([]StageMetrics, len(m.Stages))}
+	copy(out.Stages, m.Stages)
+	for i := range out.Stages {
+		out.Stages[i].Tasks = append([]TaskMetrics(nil), m.Stages[i].Tasks...)
+	}
+	return out
+}
+
+// NumStages returns the stage count (Table 4's "Stage Num" row).
+func (m Metrics) NumStages() int { return len(m.Stages) }
+
+// TotalShuffleBytes sums read+write shuffle bytes over all stages (Table 4's
+// "Shuffle Data" row counts data moved through the shuffle).
+func (m Metrics) TotalShuffleBytes() int64 {
+	var n int64
+	for i := range m.Stages {
+		n += m.Stages[i].ShuffleWriteBytes() + m.Stages[i].ShuffleReadBytes()
+	}
+	return n
+}
+
+// TotalShuffleTime sums serialization plus shuffle-stage task time, the
+// engine-side proxy for Table 4's "Shuffle Time".
+func (m Metrics) TotalShuffleTime() time.Duration {
+	var d time.Duration
+	for i := range m.Stages {
+		if m.Stages[i].Kind == StageShuffle {
+			d += m.Stages[i].TaskTime()
+		}
+	}
+	return d
+}
+
+// TotalTaskTime sums task wall time over all stages (core-hours measure).
+func (m Metrics) TotalTaskTime() time.Duration {
+	var d time.Duration
+	for i := range m.Stages {
+		d += m.Stages[i].TaskTime()
+	}
+	return d
+}
+
+// TotalGCPause sums observed GC pause deltas (Table 4's "GC Time").
+func (m Metrics) TotalGCPause() time.Duration {
+	var d time.Duration
+	for i := range m.Stages {
+		d += m.Stages[i].GCPause
+	}
+	return d
+}
+
+// TotalDriverTime sums serial driver time.
+func (m Metrics) TotalDriverTime() time.Duration {
+	var d time.Duration
+	for i := range m.Stages {
+		d += m.Stages[i].DriverTime
+	}
+	return d
+}

@@ -1,0 +1,304 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+)
+
+// MapPartitions is the fundamental narrow operation: fn transforms each
+// partition independently. fn receives the partition index and its items.
+func MapPartitions[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(p int, items []T) ([]U, error)) (*Dataset[U], error) {
+	res := newResult(d.ctx, codec, d.NumPartitions())
+	stage := StageMetrics{Name: name, Kind: StageNarrow}
+	var tms []TaskMetrics
+	gc, err := gcPauseDelta(func() error {
+		var err error
+		tms, err = d.ctx.runTasks(d.NumPartitions(), func(p int, tm *TaskMetrics) error {
+			start := time.Now()
+			in, err := d.partition(p, tm)
+			if err != nil {
+				return err
+			}
+			tm.InputItems = len(in)
+			out, err := fn(p, in)
+			if err != nil {
+				return fmt.Errorf("engine: stage %q partition %d: %w", name, p, err)
+			}
+			tm.OutputItems = len(out)
+			if err := storePartition(res, p, out, tm); err != nil {
+				return err
+			}
+			tm.Wall = time.Since(start)
+			return nil
+		})
+		return err
+	})
+	stage.Tasks = tms
+	stage.GCPause = gc
+	d.ctx.recordStage(stage)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Map applies fn to every item.
+func Map[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(T) U) (*Dataset[U], error) {
+	return MapPartitions(name, d, codec, func(_ int, items []T) ([]U, error) {
+		out := make([]U, len(items))
+		for i, it := range items {
+			out[i] = fn(it)
+		}
+		return out, nil
+	})
+}
+
+// FlatMap applies fn to every item and concatenates the results.
+func FlatMap[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(T) []U) (*Dataset[U], error) {
+	return MapPartitions(name, d, codec, func(_ int, items []T) ([]U, error) {
+		var out []U
+		for _, it := range items {
+			out = append(out, fn(it)...)
+		}
+		return out, nil
+	})
+}
+
+// Filter keeps items for which pred is true.
+func Filter[T any](name string, d *Dataset[T], pred func(T) bool) (*Dataset[T], error) {
+	return MapPartitions(name, d, d.codec, func(_ int, items []T) ([]T, error) {
+		var out []T
+		for _, it := range items {
+			if pred(it) {
+				out = append(out, it)
+			}
+		}
+		return out, nil
+	})
+}
+
+// ZipPartitions2 applies fn to aligned partitions of two co-partitioned
+// datasets. The partition counts must match; this is a narrow operation
+// (the Fig 7b fused bundle-map relies on it).
+func ZipPartitions2[A, B, U any](name string, a *Dataset[A], b *Dataset[B], codec Serializer[U], fn func(p int, as []A, bs []B) ([]U, error)) (*Dataset[U], error) {
+	if a.NumPartitions() != b.NumPartitions() {
+		return nil, fmt.Errorf("engine: stage %q: partition counts differ: %d vs %d", name, a.NumPartitions(), b.NumPartitions())
+	}
+	res := newResult(a.ctx, codec, a.NumPartitions())
+	stage := StageMetrics{Name: name, Kind: StageNarrow}
+	var tms []TaskMetrics
+	gc, err := gcPauseDelta(func() error {
+		var err error
+		tms, err = a.ctx.runTasks(a.NumPartitions(), func(p int, tm *TaskMetrics) error {
+			start := time.Now()
+			as, err := a.partition(p, tm)
+			if err != nil {
+				return err
+			}
+			bs, err := b.partition(p, tm)
+			if err != nil {
+				return err
+			}
+			tm.InputItems = len(as) + len(bs)
+			out, err := fn(p, as, bs)
+			if err != nil {
+				return fmt.Errorf("engine: stage %q partition %d: %w", name, p, err)
+			}
+			tm.OutputItems = len(out)
+			if err := storePartition(res, p, out, tm); err != nil {
+				return err
+			}
+			tm.Wall = time.Since(start)
+			return nil
+		})
+		return err
+	})
+	stage.Tasks = tms
+	stage.GCPause = gc
+	a.ctx.recordStage(stage)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// ZipPartitions3 applies fn to aligned partitions of three co-partitioned
+// datasets — the bundle join of Fig 7 (FASTA + SAM + VCF per partition).
+func ZipPartitions3[A, B, C, U any](name string, a *Dataset[A], b *Dataset[B], c *Dataset[C], codec Serializer[U], fn func(p int, as []A, bs []B, cs []C) ([]U, error)) (*Dataset[U], error) {
+	if a.NumPartitions() != b.NumPartitions() || a.NumPartitions() != c.NumPartitions() {
+		return nil, fmt.Errorf("engine: stage %q: partition counts differ: %d/%d/%d", name, a.NumPartitions(), b.NumPartitions(), c.NumPartitions())
+	}
+	res := newResult(a.ctx, codec, a.NumPartitions())
+	stage := StageMetrics{Name: name, Kind: StageNarrow}
+	var tms []TaskMetrics
+	gc, err := gcPauseDelta(func() error {
+		var err error
+		tms, err = a.ctx.runTasks(a.NumPartitions(), func(p int, tm *TaskMetrics) error {
+			start := time.Now()
+			as, err := a.partition(p, tm)
+			if err != nil {
+				return err
+			}
+			bs, err := b.partition(p, tm)
+			if err != nil {
+				return err
+			}
+			cs, err := c.partition(p, tm)
+			if err != nil {
+				return err
+			}
+			tm.InputItems = len(as) + len(bs) + len(cs)
+			out, err := fn(p, as, bs, cs)
+			if err != nil {
+				return fmt.Errorf("engine: stage %q partition %d: %w", name, p, err)
+			}
+			tm.OutputItems = len(out)
+			if err := storePartition(res, p, out, tm); err != nil {
+				return err
+			}
+			tm.Wall = time.Since(start)
+			return nil
+		})
+		return err
+	})
+	stage.Tasks = tms
+	stage.GCPause = gc
+	a.ctx.recordStage(stage)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Collect gathers all partitions to the driver in partition order.
+func Collect[T any](name string, d *Dataset[T]) ([]T, error) {
+	parts := make([][]T, d.NumPartitions())
+	stage := StageMetrics{Name: name, Kind: StageAction}
+	var tms []TaskMetrics
+	gc, err := gcPauseDelta(func() error {
+		var err error
+		tms, err = d.ctx.runTasks(d.NumPartitions(), func(p int, tm *TaskMetrics) error {
+			start := time.Now()
+			items, err := d.partition(p, tm)
+			if err != nil {
+				return err
+			}
+			tm.InputItems = len(items)
+			parts[p] = items
+			tm.Wall = time.Since(start)
+			return nil
+		})
+		return err
+	})
+	stage.Tasks = tms
+	stage.GCPause = gc
+	driverStart := time.Now()
+	var out []T
+	if err == nil {
+		total := 0
+		for _, p := range parts {
+			total += len(p)
+		}
+		out = make([]T, 0, total)
+		for _, p := range parts {
+			out = append(out, p...)
+		}
+	}
+	stage.DriverTime = time.Since(driverStart)
+	d.ctx.recordStage(stage)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Reduce folds all items with an associative function. Each task reduces its
+// partition; the driver reduces partial results serially (the Collect-style
+// serial step that throttles BQSR in §5.2.2).
+func Reduce[T any](name string, d *Dataset[T], fn func(T, T) T) (T, bool, error) {
+	type partial struct {
+		v  T
+		ok bool
+	}
+	partials := make([]partial, d.NumPartitions())
+	stage := StageMetrics{Name: name, Kind: StageAction}
+	var tms []TaskMetrics
+	gc, err := gcPauseDelta(func() error {
+		var err error
+		tms, err = d.ctx.runTasks(d.NumPartitions(), func(p int, tm *TaskMetrics) error {
+			start := time.Now()
+			items, err := d.partition(p, tm)
+			if err != nil {
+				return err
+			}
+			tm.InputItems = len(items)
+			if len(items) > 0 {
+				acc := items[0]
+				for _, it := range items[1:] {
+					acc = fn(acc, it)
+				}
+				partials[p] = partial{v: acc, ok: true}
+			}
+			tm.Wall = time.Since(start)
+			return nil
+		})
+		return err
+	})
+	stage.Tasks = tms
+	stage.GCPause = gc
+	var zero T
+	driverStart := time.Now()
+	var acc T
+	found := false
+	if err == nil {
+		for _, p := range partials {
+			if !p.ok {
+				continue
+			}
+			if !found {
+				acc, found = p.v, true
+			} else {
+				acc = fn(acc, p.v)
+			}
+		}
+	}
+	stage.DriverTime = time.Since(driverStart)
+	d.ctx.recordStage(stage)
+	if err != nil {
+		return zero, false, err
+	}
+	return acc, found, nil
+}
+
+// Count returns the total number of items.
+func Count[T any](name string, d *Dataset[T]) (int, error) {
+	counts := make([]int, d.NumPartitions())
+	stage := StageMetrics{Name: name, Kind: StageAction}
+	var tms []TaskMetrics
+	gc, err := gcPauseDelta(func() error {
+		var err error
+		tms, err = d.ctx.runTasks(d.NumPartitions(), func(p int, tm *TaskMetrics) error {
+			start := time.Now()
+			items, err := d.partition(p, tm)
+			if err != nil {
+				return err
+			}
+			counts[p] = len(items)
+			tm.InputItems = len(items)
+			tm.Wall = time.Since(start)
+			return nil
+		})
+		return err
+	})
+	stage.Tasks = tms
+	stage.GCPause = gc
+	d.ctx.recordStage(stage)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return total, nil
+}

@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// PartitionBy is the wide operation: items are routed to the output
+// partition returned by key (reduced modulo numPartitions). The map side
+// serializes each bucket through the dataset's codec, charging shuffle-write
+// bytes to map tasks; the reduce side decodes its buckets, charging
+// shuffle-read bytes. This mirrors Spark's hash shuffle, where shuffle data
+// is always serialized (and spilled to disk) even for in-memory datasets —
+// the behaviour §5.3.1 measures.
+func PartitionBy[T any](name string, d *Dataset[T], numPartitions int, key func(T) int) (*Dataset[T], error) {
+	if numPartitions < 1 {
+		return nil, fmt.Errorf("engine: stage %q: numPartitions must be positive", name)
+	}
+	codec := d.effectiveCodec()
+	in := d.NumPartitions()
+
+	// Map side: bucket and serialize.
+	buckets := make([][][]byte, in) // buckets[mapTask][reducePartition]
+	stage := StageMetrics{Name: name + "/map", Kind: StageShuffle}
+	var tms []TaskMetrics
+	gc, err := gcPauseDelta(func() error {
+		var err error
+		tms, err = d.ctx.runTasks(in, func(p int, tm *TaskMetrics) error {
+			start := time.Now()
+			items, err := d.partition(p, tm)
+			if err != nil {
+				return err
+			}
+			tm.InputItems = len(items)
+			local := make([][]T, numPartitions)
+			for _, it := range items {
+				k := key(it) % numPartitions
+				if k < 0 {
+					k += numPartitions
+				}
+				local[k] = append(local[k], it)
+			}
+			enc := make([][]byte, numPartitions)
+			serStart := time.Now()
+			for r, bucket := range local {
+				if len(bucket) == 0 {
+					continue
+				}
+				block, err := codec.Marshal(bucket)
+				if err != nil {
+					return fmt.Errorf("engine: stage %q map %d: %w", name, p, err)
+				}
+				enc[r] = block
+				tm.ShuffleWriteBytes += int64(len(block))
+			}
+			tm.SerializeTime += time.Since(serStart)
+			buckets[p] = enc
+			tm.OutputItems = len(items)
+			tm.Wall = time.Since(start)
+			return nil
+		})
+		return err
+	})
+	stage.Tasks = tms
+	stage.GCPause = gc
+	d.ctx.recordStage(stage)
+	if err != nil {
+		return nil, err
+	}
+
+	// Reduce side: fetch and decode buckets in map-task order (deterministic).
+	res := newResult(d.ctx, d.codec, numPartitions)
+	stage = StageMetrics{Name: name + "/reduce", Kind: StageShuffle}
+	gc, err = gcPauseDelta(func() error {
+		var err error
+		tms, err = d.ctx.runTasks(numPartitions, func(r int, tm *TaskMetrics) error {
+			start := time.Now()
+			var out []T
+			serStart := time.Now()
+			for m := 0; m < in; m++ {
+				block := buckets[m][r]
+				if block == nil {
+					continue
+				}
+				tm.ShuffleReadBytes += int64(len(block))
+				items, err := codec.Unmarshal(block)
+				if err != nil {
+					return fmt.Errorf("engine: stage %q reduce %d: %w", name, r, err)
+				}
+				out = append(out, items...)
+			}
+			tm.SerializeTime += time.Since(serStart)
+			tm.OutputItems = len(out)
+			if err := storePartition(res, r, out, tm); err != nil {
+				return err
+			}
+			tm.Wall = time.Since(start)
+			return nil
+		})
+		return err
+	})
+	stage.Tasks = tms
+	stage.GCPause = gc
+	d.ctx.recordStage(stage)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Repartition rebalances items round-robin into numPartitions (a shuffle
+// without a semantic key).
+func Repartition[T any](name string, d *Dataset[T], numPartitions int) (*Dataset[T], error) {
+	i := 0
+	return PartitionBy(name, d, numPartitions, func(T) int {
+		i++
+		return i
+	})
+}
+
+// Union concatenates datasets partition-wise (a narrow operation: partitions
+// are appended, not merged).
+func Union[T any](name string, ds ...*Dataset[T]) (*Dataset[T], error) {
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("engine: stage %q: union of nothing", name)
+	}
+	ctx := ds[0].ctx
+	var total int
+	for _, d := range ds {
+		total += d.NumPartitions()
+	}
+	res := newResult(ctx, ds[0].codec, total)
+	stage := StageMetrics{Name: name, Kind: StageNarrow}
+	type slot struct {
+		d *Dataset[T]
+		p int
+	}
+	slots := make([]slot, 0, total)
+	for _, d := range ds {
+		for p := 0; p < d.NumPartitions(); p++ {
+			slots = append(slots, slot{d, p})
+		}
+	}
+	var tms []TaskMetrics
+	gc, err := gcPauseDelta(func() error {
+		var err error
+		tms, err = ctx.runTasks(total, func(i int, tm *TaskMetrics) error {
+			start := time.Now()
+			items, err := slots[i].d.partition(slots[i].p, tm)
+			if err != nil {
+				return err
+			}
+			tm.InputItems = len(items)
+			tm.OutputItems = len(items)
+			if err := storePartition(res, i, items, tm); err != nil {
+				return err
+			}
+			tm.Wall = time.Since(start)
+			return nil
+		})
+		return err
+	})
+	stage.Tasks = tms
+	stage.GCPause = gc
+	ctx.recordStage(stage)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// SortPartitions sorts every partition in place by less — used after a
+// PartitionBy keyed on genomic position to produce coordinate-sorted
+// partitions (the Cleaner's sort step).
+func SortPartitions[T any](name string, d *Dataset[T], less func(a, b T) bool) (*Dataset[T], error) {
+	return MapPartitions(name, d, d.codec, func(_ int, items []T) ([]T, error) {
+		out := append([]T(nil), items...)
+		sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
+		return out, nil
+	})
+}
+
+// CountByKey returns a map from key to item count — the read census of the
+// dynamic repartitioner (§4.4 step 2: "reduce is performed ... and returns
+// the number of reads in each partition to the driver").
+func CountByKey[T any](name string, d *Dataset[T], key func(T) int) (map[int]int, error) {
+	partials := make([]map[int]int, d.NumPartitions())
+	stage := StageMetrics{Name: name, Kind: StageAction}
+	var tms []TaskMetrics
+	gc, err := gcPauseDelta(func() error {
+		var err error
+		tms, err = d.ctx.runTasks(d.NumPartitions(), func(p int, tm *TaskMetrics) error {
+			start := time.Now()
+			items, err := d.partition(p, tm)
+			if err != nil {
+				return err
+			}
+			tm.InputItems = len(items)
+			m := map[int]int{}
+			for _, it := range items {
+				m[key(it)]++
+			}
+			partials[p] = m
+			tm.Wall = time.Since(start)
+			return nil
+		})
+		return err
+	})
+	stage.Tasks = tms
+	stage.GCPause = gc
+	driverStart := time.Now()
+	out := map[int]int{}
+	if err == nil {
+		for _, m := range partials {
+			for k, v := range m {
+				out[k] += v
+			}
+		}
+	}
+	stage.DriverTime = time.Since(driverStart)
+	d.ctx.recordStage(stage)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/gpf-go/gpf/internal/baseline"
+	"github.com/gpf-go/gpf/internal/cluster"
+	"github.com/gpf-go/gpf/internal/workload"
+)
+
+func TestDebugTraceBreakdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("debug only")
+	}
+	s := SmallScale()
+	d, run, tr, err := runWGS(s, workload.WGS, baseline.GPFOptions(), 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpuScale, byteScale := calibration(d)
+	t.Logf("dataset: %d pairs, %d bases, %d fastq bytes", len(d.Pairs), d.TotalBases(), d.FASTQBytes())
+	t.Logf("cpuScale=%.0f byteScale=%.0f", cpuScale, byteScale)
+	t.Logf("measured: stages=%d taskTime=%v shuffleBytes=%d driver=%v",
+		run.Metrics.NumStages(), run.Metrics.TotalTaskTime(), run.Metrics.TotalShuffleBytes(), run.Metrics.TotalDriverTime())
+	for _, st := range run.Metrics.Stages {
+		if st.Name == "HaplotypeCaller/haplotype-caller" {
+			for _, tk := range st.Tasks {
+				if tk.Wall > 100*time.Millisecond {
+					t.Logf("HC task p=%d wall=%v in=%d out=%d", tk.Partition, tk.Wall, tk.InputItems, tk.OutputItems)
+				}
+			}
+		}
+	}
+	var totCPU, totDriver time.Duration
+	var totBytes int64
+	for _, st := range tr.Stages {
+		var cpu time.Duration
+		var bytes int64
+		for _, tk := range st.Tasks {
+			cpu += tk.CPU
+			bytes += tk.ReadBytes + tk.WriteBytes
+		}
+		totCPU += cpu
+		totBytes += bytes
+		totDriver += st.Driver
+		if cpu > time.Hour || bytes > 1e9 || st.Driver > time.Minute {
+			t.Logf("stage %-40s tasks=%4d cpu=%12v bytes=%8.1fGB driver=%v",
+				st.Name, len(st.Tasks), cpu, float64(bytes)/1e9, st.Driver)
+		}
+	}
+	t.Logf("TOTAL cpu=%v (%.0f core-h) bytes=%.0fGB driver=%v",
+		totCPU, totCPU.Hours(), float64(totBytes)/1e9, totDriver)
+	for _, c := range []int{128, 2048} {
+		sim := cluster.Simulate(tr, cluster.PaperCluster(), c, cluster.SparkOptions())
+		t.Logf("cores=%4d makespan=%v cpu=%v disk=%v net=%v driver=%v",
+			c, sim.Makespan, sim.CPUTime, sim.DiskTime, sim.NetTime, sim.Driver)
+		for _, ss := range sim.Stages {
+			ideal := ss.CPUTime / time.Duration(c)
+			if ss.Makespan > sim.Makespan/50 {
+				t.Logf("  stage %-42s mk=%10v idealCPU=%10v disk=%v", ss.Name, ss.Makespan.Round(time.Second), ideal.Round(time.Second), ss.DiskTime.Round(time.Second))
+			}
+		}
+	}
+}

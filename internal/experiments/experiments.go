@@ -1,0 +1,139 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5). Each experiment runs real pipeline code on synthetic
+// workloads, records engine metrics, and — where the paper's numbers come
+// from a 2048-core cluster — replays the measured trace through the cluster
+// simulator. Absolute values therefore differ from the paper (the substrate
+// is a simulator, not the authors' testbed), but the comparisons, ratios and
+// crossovers are produced by the same mechanisms.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/gpf-go/gpf/internal/baseline"
+	"github.com/gpf-go/gpf/internal/cluster"
+	"github.com/gpf-go/gpf/internal/core"
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/workload"
+)
+
+// Paper-scale constants used for calibration (§5.1): the NA12878 Platinum
+// Genome is 146.9 Gbases and 500 GB in FASTQ form.
+const (
+	PaperBases      = 146.9e9
+	PaperFASTQBytes = 500e9
+)
+
+// Scale sizes an experiment run. Small scales finish in seconds for tests
+// and benchmarks; Default gives smoother curves for the CLI.
+type Scale struct {
+	GenomeLen     int
+	Coverage      float64
+	Workers       int
+	NumPartitions int
+	PartitionLen  int
+	Seed          int64
+}
+
+// SmallScale is the test/benchmark preset.
+func SmallScale() Scale {
+	return Scale{GenomeLen: 30000, Coverage: 8, Workers: 1, NumPartitions: 4, PartitionLen: 5000, Seed: 42}
+}
+
+// DefaultScale is the CLI preset.
+func DefaultScale() Scale {
+	return Scale{GenomeLen: 120000, Coverage: 12, Workers: 4, NumPartitions: 8, PartitionLen: 8000, Seed: 42}
+}
+
+// newRuntime builds a core runtime for a dataset under this scale.
+func (s Scale) newRuntime(d *workload.Dataset) *core.Runtime {
+	rt := core.NewRuntime(engine.NewContext(s.Workers), d.Ref)
+	rt.PartitionLen = s.PartitionLen
+	rt.NumPartitions = s.NumPartitions
+	rt.Known = d.Known
+	return rt
+}
+
+// dataset synthesizes the experiment's standard WGS dataset.
+func (s Scale) dataset(kind workload.Kind) *workload.Dataset {
+	p := workload.DefaultProfile(kind, s.GenomeLen)
+	p.Coverage = s.Coverage
+	return workload.Make(p, s.Seed)
+}
+
+// calibration converts a measured laptop run to paper scale: CPU times and
+// byte volumes are multiplied by the dataset-size ratio.
+func calibration(d *workload.Dataset) (cpuScale, byteScale float64) {
+	bases := float64(d.TotalBases())
+	if bases <= 0 {
+		return 1, 1
+	}
+	// Divide by local worker count: engine task wall time was measured on
+	// s.Workers local cores but represents one paper core's work per task.
+	return PaperBases / bases, PaperFASTQBytes / float64(d.FASTQBytes())
+}
+
+// refine splits every stage's tasks so each stage has at least targetTasks —
+// the task granularity a full-size dataset would present to the scheduler.
+// Relative skew between a stage's tasks is preserved: an overloaded
+// partition's subtasks stay proportionally larger.
+func refine(tr cluster.Trace, targetTasks int) cluster.Trace {
+	if targetTasks <= 1 {
+		return tr
+	}
+	out := cluster.Trace{Stages: make([]cluster.StageWork, len(tr.Stages))}
+	for i, s := range tr.Stages {
+		n := len(s.Tasks)
+		if n == 0 {
+			out.Stages[i] = s
+			continue
+		}
+		factor := (targetTasks + n - 1) / n
+		if factor <= 1 {
+			out.Stages[i] = s
+			continue
+		}
+		one := cluster.Trace{Stages: []cluster.StageWork{s}}
+		out.Stages[i] = one.SplitTasks(factor).Stages[0]
+	}
+	return out
+}
+
+// runWGS executes the full pipeline under opts and returns the dataset, the
+// run result and the paper-scale trace.
+func runWGS(s Scale, kind workload.Kind, opts baseline.WGSOptions, targetTasks int) (*workload.Dataset, *baseline.WGSRun, cluster.Trace, error) {
+	d := s.dataset(kind)
+	rt := s.newRuntime(d)
+	run, err := baseline.RunWGS(rt, d.Pairs, opts)
+	if err != nil {
+		return nil, nil, cluster.Trace{}, err
+	}
+	cpuScale, byteScale := calibration(d)
+	tr := refine(cluster.TraceFromMetrics(run.Metrics, cpuScale, byteScale), targetTasks)
+	return d, run, tr, nil
+}
+
+// phaseOf buckets a stage name into the pipeline phase it belongs to.
+func phaseOf(stageName string) string {
+	switch {
+	case strings.Contains(stageName, "Bwa") || strings.Contains(stageName, "bwa"):
+		return "Aligner"
+	case strings.Contains(stageName, "HaplotypeCaller") || strings.Contains(stageName, "haplotype"):
+		return "Caller"
+	default:
+		return "Cleaner"
+	}
+}
+
+// minutes renders a duration in fractional minutes.
+func minutes(d time.Duration) float64 { return d.Minutes() }
+
+// gb renders bytes in gigabytes.
+func gb(b int64) float64 { return float64(b) / 1e9 }
+
+// row formats a table row with a fixed label column.
+func row(label string, cells ...string) string {
+	return fmt.Sprintf("%-34s %s", label, strings.Join(cells, "  "))
+}

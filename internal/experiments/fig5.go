@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/gpf-go/gpf/internal/fastq"
+	"github.com/gpf-go/gpf/internal/genome"
+	"github.com/gpf-go/gpf/internal/stats"
+)
+
+// Fig5Result reproduces Figure 5: the distribution of quality scores (a) and
+// of adjacent quality-score differences (b) for two samples with different
+// instrument profiles — the property motivating delta+Huffman compression.
+type Fig5Result struct {
+	SampleNames []string
+	// QualityHist[i] is sample i's quality-score histogram (Phred+33 byte
+	// values, 33..90 as in the paper's x-axis).
+	QualityHist []*stats.Histogram
+	// DeltaHist[i] is sample i's adjacent-difference histogram (-94..+94).
+	DeltaHist []*stats.Histogram
+}
+
+// Fig5 simulates the two samples and builds both distributions.
+func Fig5(s Scale) (*Fig5Result, error) {
+	ref := genome.Synthesize(genome.DefaultSynthConfig(s.Seed, s.GenomeLen, 1))
+	donor := genome.Mutate(ref, genome.DefaultMutateConfig(s.Seed+1))
+	profiles := []fastq.QualityProfile{fastq.ProfileHiSeq(), fastq.ProfileGAII()}
+
+	res := &Fig5Result{}
+	for i, p := range profiles {
+		cfg := fastq.DefaultSimConfig(s.Seed+int64(i)+2, s.Coverage)
+		cfg.Profile = p
+		pairs := fastq.Simulate(donor, cfg)
+		qh := stats.NewHistogram(33, 90)
+		dh := stats.NewHistogram(-94, 94)
+		for j := range pairs {
+			for _, q := range [][]byte{pairs[j].R1.Qual, pairs[j].R2.Qual} {
+				for k, b := range q {
+					qh.Add(int(b))
+					if k > 0 {
+						dh.Add(int(b) - int(q[k-1]))
+					}
+				}
+			}
+		}
+		res.SampleNames = append(res.SampleNames, p.Name)
+		res.QualityHist = append(res.QualityHist, qh)
+		res.DeltaHist = append(res.DeltaHist, dh)
+	}
+	return res, nil
+}
+
+// DeltaConcentration returns the fraction of adjacent differences within
+// ±10 for sample i — the paper's "vast majority of adjacent quality score
+// differences are ranged between 0-10".
+func (r *Fig5Result) DeltaConcentration(i int) float64 {
+	return r.DeltaHist[i].MassWithin(0, 10)
+}
+
+// Format renders both panels as percent series at the paper's tick marks.
+func (r *Fig5Result) Format() []string {
+	out := []string{"Figure 5(a): quality score distribution (percent)"}
+	header := row("quality")
+	for _, n := range r.SampleNames {
+		header += fmt.Sprintf("  %12s", n)
+	}
+	out = append(out, header)
+	for q := 33; q <= 90; q += 4 {
+		line := row(fmt.Sprintf("%d", q))
+		for i := range r.QualityHist {
+			line += fmt.Sprintf("  %11.1f%%", r.QualityHist[i].Percent(q))
+		}
+		out = append(out, line)
+	}
+	out = append(out, "Figure 5(b): adjacent quality delta distribution (percent)")
+	for d := -94; d <= 94; d += 12 {
+		line := row(fmt.Sprintf("%+d", d))
+		for i := range r.DeltaHist {
+			line += fmt.Sprintf("  %11.1f%%", r.DeltaHist[i].Percent(d))
+		}
+		out = append(out, line)
+	}
+	for i, n := range r.SampleNames {
+		out = append(out, fmt.Sprintf("%s: %.0f%% of adjacent deltas within +/-10",
+			n, 100*r.DeltaConcentration(i)))
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package fastq
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/genome"
+)
+
+func TestRecordValidate(t *testing.T) {
+	ok := Record{Name: "r1", Seq: []byte("ACGT"), Qual: []byte("IIII")}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Record{
+		{Name: "", Seq: []byte("A"), Qual: []byte("I")},
+		{Name: "r", Seq: []byte("AC"), Qual: []byte("I")},
+		{Name: "r", Seq: []byte("A"), Qual: []byte{10}},
+		{Name: "r", Seq: []byte("A"), Qual: []byte{127}},
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Name: "read1", Seq: []byte("ACGTACGT"), Qual: []byte("IIIIHHHH")},
+		{Name: "read2/1", Seq: []byte("GGGG"), Qual: []byte("!!!!")},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Name != recs[i].Name || !bytes.Equal(got[i].Seq, recs[i].Seq) || !bytes.Equal(got[i].Qual, recs[i].Qual) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	cases := map[string]string{
+		"truncated":    "@r\nACGT\n+\n",
+		"no at":        "r\nACGT\n+\nIIII\n",
+		"no plus":      "@r\nACGT\nX\nIIII\n",
+		"len mismatch": "@r\nACGT\n+\nIII\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadAll(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("err = %v, want EOF", err)
+	}
+}
+
+func TestReadPairs(t *testing.T) {
+	f1 := "@a/1\nACGT\n+\nIIII\n@b/1\nTTTT\n+\nHHHH\n"
+	f2 := "@a/2\nCCCC\n+\nIIII\n@b/2\nGGGG\n+\nHHHH\n"
+	pairs, err := ReadPairs(strings.NewReader(f1), strings.NewReader(f2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	if pairs[0].R1.Name != "a/1" || pairs[0].R2.Name != "a/2" {
+		t.Fatalf("pair 0 names: %s %s", pairs[0].R1.Name, pairs[0].R2.Name)
+	}
+	// Unequal counts must error.
+	short := "@a/2\nCCCC\n+\nIIII\n"
+	if _, err := ReadPairs(strings.NewReader(f1), strings.NewReader(short)); err == nil {
+		t.Fatal("unequal mate counts should error")
+	}
+}
+
+func TestRecordBytes(t *testing.T) {
+	r := Record{Name: "abc", Seq: []byte("ACGT"), Qual: []byte("IIII")}
+	if got := r.Bytes(); got != 3+4+4+6 {
+		t.Fatalf("Bytes = %d", got)
+	}
+	p := Pair{R1: r, R2: r}
+	if p.Bytes() != 2*r.Bytes() {
+		t.Fatal("pair bytes should be sum of mates")
+	}
+}
+
+func testDonor(t *testing.T, seed int64, size int) *genome.Donor {
+	t.Helper()
+	ref := genome.Synthesize(genome.DefaultSynthConfig(seed, size, 2))
+	return genome.Mutate(ref, genome.DefaultMutateConfig(seed+1))
+}
+
+func TestSimulateBasics(t *testing.T) {
+	donor := testDonor(t, 3, 60000)
+	cfg := DefaultSimConfig(4, 10)
+	pairs := Simulate(donor, cfg)
+	if len(pairs) == 0 {
+		t.Fatal("no pairs simulated")
+	}
+	// Coverage sanity: total bases within 2x of target coverage.
+	totalBases := 0
+	for i := range pairs {
+		totalBases += len(pairs[i].R1.Seq) + len(pairs[i].R2.Seq)
+	}
+	genomeLen := int(donor.Ref.TotalLen())
+	cov := float64(totalBases) / float64(genomeLen)
+	if cov < 5 || cov > 25 {
+		t.Fatalf("achieved coverage %.1f, want near 10", cov)
+	}
+	for i := range pairs {
+		if err := pairs[i].R1.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if err := pairs[i].R2.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if len(pairs[i].R1.Seq) != cfg.ReadLen {
+			t.Fatalf("read len = %d", len(pairs[i].R1.Seq))
+		}
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	donor := testDonor(t, 5, 30000)
+	a := Simulate(donor, DefaultSimConfig(7, 5))
+	b := Simulate(donor, DefaultSimConfig(7, 5))
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].R1.Seq, b[i].R1.Seq) || !bytes.Equal(a[i].R1.Qual, b[i].R1.Qual) {
+			t.Fatalf("pair %d differs between identical-seed runs", i)
+		}
+	}
+}
+
+func TestSimulateHotspots(t *testing.T) {
+	donor := testDonor(t, 9, 50000)
+	hs := genome.Interval{Contig: 0, Start: 1000, End: 2000}
+	cfg := DefaultSimConfig(10, 5)
+	cfg.Hotspots = []genome.Interval{hs}
+	cfg.HotspotFactor = 40
+	base := Simulate(donor, DefaultSimConfig(10, 5))
+	hot := Simulate(donor, cfg)
+	if len(hot) <= len(base) {
+		t.Fatalf("hotspot run produced %d pairs, base %d; want more", len(hot), len(base))
+	}
+}
+
+func TestSimulateDuplicates(t *testing.T) {
+	donor := testDonor(t, 11, 40000)
+	cfg := DefaultSimConfig(12, 8)
+	cfg.DuplicateRate = 0.5
+	pairs := Simulate(donor, cfg)
+	// With 50% duplication some consecutive pairs share identical fragments
+	// modulo errors: check for at least one matching sequence prefix pair.
+	dups := 0
+	for i := 1; i < len(pairs); i++ {
+		if bytes.Equal(pairs[i].R1.Seq[:20], pairs[i-1].R1.Seq[:20]) {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Fatal("expected duplicated fragments at 50% duplicate rate")
+	}
+}
+
+func TestQualityProfilesDiffer(t *testing.T) {
+	donor := testDonor(t, 13, 30000)
+	cfgA := DefaultSimConfig(14, 5)
+	cfgA.Profile = ProfileHiSeq()
+	cfgB := DefaultSimConfig(14, 5)
+	cfgB.Profile = ProfileGAII()
+	a := Simulate(donor, cfgA)
+	b := Simulate(donor, cfgB)
+	meanA, meanB := 0.0, 0.0
+	for i := range a {
+		meanA += MeanQuality(a[i].R1.Qual)
+	}
+	for i := range b {
+		meanB += MeanQuality(b[i].R1.Qual)
+	}
+	meanA /= float64(len(a))
+	meanB /= float64(len(b))
+	if meanA <= meanB {
+		t.Fatalf("HiSeq profile mean %.1f should exceed GAII %.1f", meanA, meanB)
+	}
+}
+
+func TestQualityAdjacentDeltasSmall(t *testing.T) {
+	// The compression design assumes adjacent quality deltas concentrate near
+	// zero (paper Fig 5). Verify the simulator produces that property.
+	donor := testDonor(t, 15, 30000)
+	pairs := Simulate(donor, DefaultSimConfig(16, 5))
+	small, total := 0, 0
+	for i := range pairs {
+		q := pairs[i].R1.Qual
+		for j := 1; j < len(q); j++ {
+			d := int(q[j]) - int(q[j-1])
+			if d < 0 {
+				d = -d
+			}
+			if d <= 10 {
+				small++
+			}
+			total++
+		}
+	}
+	if frac := float64(small) / float64(total); frac < 0.9 {
+		t.Fatalf("only %.2f of adjacent deltas within 10; want >= 0.9", frac)
+	}
+}
+
+func TestMeanQuality(t *testing.T) {
+	if MeanQuality(nil) != 0 {
+		t.Fatal("empty qual mean should be 0")
+	}
+	if got := MeanQuality([]byte{QualMin + 10, QualMin + 20}); got != 15 {
+		t.Fatalf("mean = %v", got)
+	}
+}

@@ -1,0 +1,27 @@
+package fastq
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// The FASTQ reader must never panic on arbitrary input.
+func TestReaderRobustness(t *testing.T) {
+	f := func(data []byte) bool {
+		r := NewReader(bytes.NewReader(data))
+		for {
+			_, err := r.Read()
+			if err == io.EOF {
+				return true
+			}
+			if err != nil {
+				return true // parse error is acceptable; panic is not
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+package genome
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// fastaLineWidth is the sequence wrap width used when writing FASTA.
+const fastaLineWidth = 70
+
+// WriteFASTA serializes the reference in FASTA format.
+func WriteFASTA(w io.Writer, ref *Reference) error {
+	bw := bufio.NewWriter(w)
+	for i := range ref.Contigs {
+		c := &ref.Contigs[i]
+		if _, err := fmt.Fprintf(bw, ">%s\n", c.Name); err != nil {
+			return err
+		}
+		for off := 0; off < len(c.Seq); off += fastaLineWidth {
+			end := off + fastaLineWidth
+			if end > len(c.Seq) {
+				end = len(c.Seq)
+			}
+			if _, err := bw.Write(c.Seq[off:end]); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadFASTA parses a FASTA stream into a Reference. Sequence bytes are
+// upper-cased; blank lines are ignored.
+func ReadFASTA(r io.Reader) (*Reference, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	var contigs []Contig
+	var cur *Contig
+	var seq bytes.Buffer
+	flush := func() {
+		if cur != nil {
+			cur.Seq = append([]byte(nil), bytes.ToUpper(seq.Bytes())...)
+			contigs = append(contigs, *cur)
+			seq.Reset()
+		}
+	}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line[0] == '>' {
+			flush()
+			name := strings.Fields(line[1:])
+			if len(name) == 0 {
+				return nil, fmt.Errorf("genome: empty contig name at line %d", lineNo)
+			}
+			cur = &Contig{Name: name[0]}
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("genome: sequence before header at line %d", lineNo)
+		}
+		seq.WriteString(line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("genome: reading FASTA: %w", err)
+	}
+	flush()
+	if len(contigs) == 0 {
+		return nil, fmt.Errorf("genome: no contigs in FASTA input")
+	}
+	return NewReference(contigs), nil
+}

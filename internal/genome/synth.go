@@ -1,0 +1,332 @@
+package genome
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// SynthConfig controls synthetic reference generation. The defaults produce a
+// genome with realistic structure for the experiments: per-contig GC skew,
+// tandem repeats (which create alignment ambiguity and coverage pileups), and
+// occasional N runs.
+type SynthConfig struct {
+	Seed          int64
+	ContigLengths []int   // lengths per contig; names become chr1, chr2, ...
+	GCBase        float64 // baseline GC content (default 0.41, human-like)
+	GCAmplitude   float64 // sinusoidal GC variation amplitude (default 0.12)
+	RepeatRate    float64 // probability per kb of starting a tandem repeat
+	RepeatUnitMax int     // max repeat unit length (default 6)
+	RepeatSpanMax int     // max total repeat span (default 300)
+	NRunRate      float64 // probability per kb of an N run (default 0.0005)
+	NRunMax       int     // max N run length (default 50)
+}
+
+// DefaultSynthConfig returns a config for a small multi-contig genome whose
+// total size is roughly totalLen, split over nContigs with hg19-like
+// decreasing contig lengths.
+func DefaultSynthConfig(seed int64, totalLen, nContigs int) SynthConfig {
+	if nContigs < 1 {
+		nContigs = 1
+	}
+	// Decreasing lengths proportional to 1/(i+1), echoing chromosome sizing.
+	weights := make([]float64, nContigs)
+	var sum float64
+	for i := range weights {
+		weights[i] = 1 / float64(i+2)
+		sum += weights[i]
+	}
+	lens := make([]int, nContigs)
+	for i := range lens {
+		lens[i] = int(float64(totalLen) * weights[i] / sum)
+		if lens[i] < 64 {
+			lens[i] = 64
+		}
+	}
+	return SynthConfig{
+		Seed:          seed,
+		ContigLengths: lens,
+		GCBase:        0.41,
+		GCAmplitude:   0.12,
+		RepeatRate:    0.02,
+		RepeatUnitMax: 6,
+		RepeatSpanMax: 300,
+		NRunRate:      0.0005,
+		NRunMax:       50,
+	}
+}
+
+// Synthesize generates a reference genome from cfg deterministically.
+func Synthesize(cfg SynthConfig) *Reference {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.GCBase == 0 {
+		cfg.GCBase = 0.41
+	}
+	if cfg.RepeatUnitMax <= 0 {
+		cfg.RepeatUnitMax = 6
+	}
+	if cfg.RepeatSpanMax <= 0 {
+		cfg.RepeatSpanMax = 300
+	}
+	if cfg.NRunMax <= 0 {
+		cfg.NRunMax = 50
+	}
+	contigs := make([]Contig, len(cfg.ContigLengths))
+	for i, length := range cfg.ContigLengths {
+		contigs[i] = Contig{
+			Name: fmt.Sprintf("chr%d", i+1),
+			Seq:  synthesizeContig(rng, length, cfg),
+		}
+	}
+	return NewReference(contigs)
+}
+
+func synthesizeContig(rng *rand.Rand, length int, cfg SynthConfig) []byte {
+	seq := make([]byte, 0, length)
+	// GC varies sinusoidally along the contig to mimic isochores.
+	period := float64(length)/3 + 1
+	for len(seq) < length {
+		frac := float64(len(seq)) / period
+		gc := cfg.GCBase + cfg.GCAmplitude*sinApprox(frac)
+		switch {
+		case rng.Float64() < cfg.RepeatRate/1000:
+			seq = appendRepeat(rng, seq, length, cfg)
+		case rng.Float64() < cfg.NRunRate/1000:
+			seq = appendNRun(rng, seq, length, cfg)
+		default:
+			seq = append(seq, randomBase(rng, gc))
+		}
+	}
+	return seq[:length]
+}
+
+// sinApprox is a cheap periodic function in [-1, 1] avoiding math.Sin in the
+// hot generation loop; a triangle wave is adequate for GC variation.
+func sinApprox(x float64) float64 {
+	x -= float64(int(x)) // frac
+	if x < 0 {
+		x += 1
+	}
+	if x < 0.5 {
+		return 4*x - 1
+	}
+	return 3 - 4*x
+}
+
+func randomBase(rng *rand.Rand, gc float64) byte {
+	if rng.Float64() < gc {
+		if rng.Intn(2) == 0 {
+			return 'G'
+		}
+		return 'C'
+	}
+	if rng.Intn(2) == 0 {
+		return 'A'
+	}
+	return 'T'
+}
+
+func appendRepeat(rng *rand.Rand, seq []byte, limit int, cfg SynthConfig) []byte {
+	unitLen := 1 + rng.Intn(cfg.RepeatUnitMax)
+	unit := make([]byte, unitLen)
+	for i := range unit {
+		unit[i] = randomBase(rng, 0.5)
+	}
+	span := unitLen + rng.Intn(cfg.RepeatSpanMax)
+	for i := 0; i < span && len(seq) < limit; i++ {
+		seq = append(seq, unit[i%unitLen])
+	}
+	return seq
+}
+
+func appendNRun(rng *rand.Rand, seq []byte, limit int, cfg SynthConfig) []byte {
+	span := 1 + rng.Intn(cfg.NRunMax)
+	for i := 0; i < span && len(seq) < limit; i++ {
+		seq = append(seq, 'N')
+	}
+	return seq
+}
+
+// VariantType distinguishes the truth-set variant classes injected into donor
+// genomes (§2: SNVs and indels are the calls the WGS pipeline reports).
+type VariantType int
+
+const (
+	SNV VariantType = iota
+	Insertion
+	Deletion
+)
+
+// String names the variant type.
+func (t VariantType) String() string {
+	switch t {
+	case SNV:
+		return "SNV"
+	case Insertion:
+		return "INS"
+	case Deletion:
+		return "DEL"
+	default:
+		return "UNK"
+	}
+}
+
+// TruthVariant is an injected variant with reference coordinates. Ref and Alt
+// follow VCF conventions (anchored on the preceding base for indels).
+type TruthVariant struct {
+	Contig       int
+	Pos          int // 0-based position of the first Ref base
+	Ref          []byte
+	Alt          []byte
+	Type         VariantType
+	Heterozygous bool
+}
+
+// TruthSet is a collection of injected variants sorted by position, plus the
+// donor haplotypes generated from them.
+type TruthSet struct {
+	Variants []TruthVariant
+}
+
+// Find returns the truth variants on contig within [start, end).
+func (ts *TruthSet) Find(contig, start, end int) []TruthVariant {
+	var out []TruthVariant
+	for _, v := range ts.Variants {
+		if v.Contig == contig && v.Pos >= start && v.Pos < end {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// MutateConfig controls truth-set injection.
+type MutateConfig struct {
+	Seed          int64
+	SNVRate       float64 // per-base probability (default 0.001, human-like)
+	IndelRate     float64 // per-base probability (default 0.0001)
+	MaxIndelLen   int     // default 8
+	HetFraction   float64 // fraction of variants that are heterozygous (default 0.6)
+	MinSeparation int     // minimum bases between injected variants (default 12)
+}
+
+// DefaultMutateConfig returns human-like variant density.
+func DefaultMutateConfig(seed int64) MutateConfig {
+	return MutateConfig{Seed: seed, SNVRate: 0.001, IndelRate: 0.0001, MaxIndelLen: 8, HetFraction: 0.6, MinSeparation: 12}
+}
+
+// Donor holds the two haplotype sequences of a synthetic individual derived
+// from a reference plus a truth set. Haplotype 0 carries all variants;
+// haplotype 1 carries only homozygous ones.
+type Donor struct {
+	Ref   *Reference
+	Truth TruthSet
+	// Hap holds per-contig haplotype sequences: Hap[h][contig].
+	Hap [2][][]byte
+}
+
+// Mutate injects variants into ref, producing a Donor with two haplotypes and
+// the truth set used later to score the variant caller.
+func Mutate(ref *Reference, cfg MutateConfig) *Donor {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	if cfg.MaxIndelLen <= 0 {
+		cfg.MaxIndelLen = 8
+	}
+	if cfg.MinSeparation <= 0 {
+		cfg.MinSeparation = 12
+	}
+	d := &Donor{Ref: ref}
+	for contigID := range ref.Contigs {
+		seq := ref.Contigs[contigID].Seq
+		lastPos := -cfg.MinSeparation
+		for pos := 1; pos < len(seq)-cfg.MaxIndelLen-1; pos++ {
+			if pos-lastPos < cfg.MinSeparation || seq[pos] == 'N' {
+				continue
+			}
+			r := rng.Float64()
+			switch {
+			case r < cfg.SNVRate:
+				alt := substituteBase(rng, seq[pos])
+				d.Truth.Variants = append(d.Truth.Variants, TruthVariant{
+					Contig: contigID, Pos: pos,
+					Ref: []byte{seq[pos]}, Alt: []byte{alt},
+					Type: SNV, Heterozygous: rng.Float64() < cfg.HetFraction,
+				})
+				lastPos = pos
+			case r < cfg.SNVRate+cfg.IndelRate:
+				n := 1 + rng.Intn(cfg.MaxIndelLen)
+				if rng.Intn(2) == 0 { // insertion after pos
+					ins := make([]byte, n)
+					for i := range ins {
+						ins[i] = randomBase(rng, 0.5)
+					}
+					d.Truth.Variants = append(d.Truth.Variants, TruthVariant{
+						Contig: contigID, Pos: pos,
+						Ref: []byte{seq[pos]}, Alt: append([]byte{seq[pos]}, ins...),
+						Type: Insertion, Heterozygous: rng.Float64() < cfg.HetFraction,
+					})
+				} else { // deletion of n bases after pos
+					if pos+1+n > len(seq) {
+						continue
+					}
+					refBases := make([]byte, n+1)
+					copy(refBases, seq[pos:pos+1+n])
+					d.Truth.Variants = append(d.Truth.Variants, TruthVariant{
+						Contig: contigID, Pos: pos,
+						Ref: refBases, Alt: []byte{seq[pos]},
+						Type: Deletion, Heterozygous: rng.Float64() < cfg.HetFraction,
+					})
+				}
+				lastPos = pos
+			}
+		}
+	}
+	sort.Slice(d.Truth.Variants, func(i, j int) bool {
+		a, b := d.Truth.Variants[i], d.Truth.Variants[j]
+		if a.Contig != b.Contig {
+			return a.Contig < b.Contig
+		}
+		return a.Pos < b.Pos
+	})
+	d.buildHaplotypes()
+	return d
+}
+
+func substituteBase(rng *rand.Rand, b byte) byte {
+	for {
+		alt := Alphabet[rng.Intn(4)]
+		if alt != b {
+			return alt
+		}
+	}
+}
+
+// buildHaplotypes applies the truth set to the reference to create donor
+// haplotype sequences (hap 0 = all variants, hap 1 = homozygous only).
+func (d *Donor) buildHaplotypes() {
+	for h := 0; h < 2; h++ {
+		d.Hap[h] = make([][]byte, d.Ref.NumContigs())
+		for contigID := range d.Ref.Contigs {
+			d.Hap[h][contigID] = applyVariants(d.Ref.Contigs[contigID].Seq, d.Truth.Variants, contigID, h == 1)
+		}
+	}
+}
+
+// applyVariants applies variants on contigID left to right. When homOnly is
+// set, heterozygous variants are skipped (they are absent from haplotype 1).
+func applyVariants(ref []byte, variants []TruthVariant, contigID int, homOnly bool) []byte {
+	out := make([]byte, 0, len(ref)+len(ref)/500)
+	prev := 0
+	for _, v := range variants {
+		if v.Contig != contigID || (homOnly && v.Heterozygous) {
+			continue
+		}
+		if v.Pos < prev {
+			continue // overlapping variant; injection spacing should prevent this
+		}
+		out = append(out, ref[prev:v.Pos]...)
+		out = append(out, v.Alt...)
+		prev = v.Pos + len(v.Ref)
+	}
+	out = append(out, ref[prev:]...)
+	return out
+}

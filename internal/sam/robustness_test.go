@@ -1,0 +1,53 @@
+package sam
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// ReadText must never panic on arbitrary input.
+func TestReadTextRobustness(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _, err := ReadText(bytes.NewReader(data))
+		_ = err // error or success both fine; panic fails the test
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Structured adversarial lines: tab counts, weird field contents.
+func TestReadTextAdversarial(t *testing.T) {
+	cases := []string{
+		"@HD\n@SQ\tSN:\tLN:5\n",
+		"r\t0\tchr1\t1\t60\t*\t*\t0\t0\t*\t*\n",
+		"r\t0\t*\t0\t0\t*\t*\t0\t0\t*\t*\n",
+		"r\t65535\tchr1\t1\t255\t1M\t=\t1\t0\tA\tI\ttag\n",
+		"@SQ\tLN:x\tSN:c\n",
+		"r\t0\tchr1\t1\t60\t1M\t=\t1\t0\tA\tI\tRG:Z:\n",
+	}
+	for _, in := range cases {
+		ReadText(bytes.NewReader([]byte(in)))
+	}
+}
+
+// ParseCigar must never panic and must reject junk.
+func TestParseCigarRobustness(t *testing.T) {
+	f := func(s string) bool {
+		c, err := ParseCigar(s)
+		if err != nil {
+			return true
+		}
+		// Round-trip successful parses (except the "*" empty form).
+		if c == nil {
+			return s == "*" || s == ""
+		}
+		back, err := ParseCigar(c.String())
+		return err == nil && back.String() == c.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

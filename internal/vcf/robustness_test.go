@@ -1,0 +1,32 @@
+package vcf
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Read must never panic on arbitrary input.
+func TestReadRobustness(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _, err := Read(bytes.NewReader(data))
+		_ = err
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAdversarial(t *testing.T) {
+	cases := []string{
+		"##contig=<>\n",
+		"#CHROM\n",
+		"chr1\t1\t.\tA\tG\t.\tPASS\t.\tGT\t0/1\n",
+		"chr1\t1\t.\tA\tG\t10\tPASS\tEND=5;FOO\tGT:DP:XX\t0/1:3\n",
+		"chr1\t1\t.\tA\t<NON_REF>\t10\tPASS\tEND=9\tGT:DP\t0/0:7\n",
+	}
+	for _, in := range cases {
+		Read(bytes.NewReader([]byte(in)))
+	}
+}

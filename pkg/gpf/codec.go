@@ -1,0 +1,29 @@
+package gpf
+
+import "github.com/gpf-go/gpf/internal/compress"
+
+// Genomic codecs (§4.2 of the paper): partition-level serializers that store
+// sequences in 2-bit codes with N exceptions routed through the quality
+// channel, and qualities as Huffman-coded adjacent deltas.
+type (
+	// GPFPairCodec serializes FASTQ pairs with the genomic codec.
+	GPFPairCodec = compress.GPFPairCodec
+	// GPFSAMCodec serializes SAM records with the genomic codec.
+	GPFSAMCodec = compress.GPFSAMCodec
+	// FieldPairCodec is the fast binary comparator without genomic modeling.
+	FieldPairCodec = compress.FieldPairCodec
+	// FieldSAMCodec is the fast binary comparator for SAM records.
+	FieldSAMCodec = compress.FieldSAMCodec
+)
+
+// Sequence/quality block codec entry points for applications that store
+// read data outside the engine.
+var (
+	// EncodeSeqQualBlock compresses parallel sequence/quality batches into
+	// one byte block.
+	EncodeSeqQualBlock = compress.EncodeSeqQualBlock
+	// DecodeSeqQualBlock inverts EncodeSeqQualBlock.
+	DecodeSeqQualBlock = compress.DecodeSeqQualBlock
+	// CompressionRatio reports original/compressed size.
+	CompressionRatio = compress.Ratio
+)

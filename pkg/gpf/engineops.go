@@ -1,0 +1,68 @@
+package gpf
+
+import "github.com/gpf-go/gpf/internal/engine"
+
+// Engine operations for building custom Processes: the same primitives the
+// built-in Processes use. Narrow operations (Map, Filter, FlatMap,
+// MapPartitions) transform partitions in place; PartitionBy shuffles by key;
+// Collect, Reduce and Count are driver actions. Every call is recorded in
+// the engine metrics under its stage name.
+
+// Serializer is the partition codec interface (see GPFSAMCodec and friends).
+type Serializer[T any] = engine.Serializer[T]
+
+// Parallelize distributes items over numPartitions.
+func Parallelize[T any](eng *Engine, items []T, numPartitions int) *Dataset[T] {
+	return engine.Parallelize(eng, items, numPartitions)
+}
+
+// WithCodec attaches a serializer to a dataset.
+func WithCodec[T any](d *Dataset[T], codec Serializer[T]) *Dataset[T] {
+	return engine.WithCodec(d, codec)
+}
+
+// Map applies fn to every item.
+func Map[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(T) U) (*Dataset[U], error) {
+	return engine.Map(name, d, codec, fn)
+}
+
+// Filter keeps items for which pred is true.
+func Filter[T any](name string, d *Dataset[T], pred func(T) bool) (*Dataset[T], error) {
+	return engine.Filter(name, d, pred)
+}
+
+// FlatMap applies fn to every item and concatenates the results.
+func FlatMap[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(T) []U) (*Dataset[U], error) {
+	return engine.FlatMap(name, d, codec, fn)
+}
+
+// MapPartitions transforms whole partitions.
+func MapPartitions[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(p int, items []T) ([]U, error)) (*Dataset[U], error) {
+	return engine.MapPartitions(name, d, codec, fn)
+}
+
+// PartitionBy shuffles items to the partition selected by key.
+func PartitionBy[T any](name string, d *Dataset[T], numPartitions int, key func(T) int) (*Dataset[T], error) {
+	return engine.PartitionBy(name, d, numPartitions, key)
+}
+
+// SortPartitions sorts every partition by less.
+func SortPartitions[T any](name string, d *Dataset[T], less func(a, b T) bool) (*Dataset[T], error) {
+	return engine.SortPartitions(name, d, less)
+}
+
+// Collect gathers all partitions to the driver.
+func Collect[T any](name string, d *Dataset[T]) ([]T, error) {
+	return engine.Collect(name, d)
+}
+
+// Reduce folds all items with an associative function; found is false for
+// empty datasets.
+func Reduce[T any](name string, d *Dataset[T], fn func(T, T) T) (value T, found bool, err error) {
+	return engine.Reduce(name, d, fn)
+}
+
+// Count returns the total number of items.
+func Count[T any](name string, d *Dataset[T]) (int, error) {
+	return engine.Count(name, d)
+}

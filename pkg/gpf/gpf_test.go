@@ -1,0 +1,154 @@
+package gpf_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/gpf-go/gpf/pkg/gpf"
+)
+
+// TestPublicAPIPipeline exercises the complete public surface the README
+// advertises: synthesize -> simulate -> pipeline -> collect -> write VCF.
+func TestPublicAPIPipeline(t *testing.T) {
+	ref := gpf.SynthesizeGenome(gpf.DefaultSynthConfig(1, 30000, 2))
+	donor := gpf.MutateGenome(ref, gpf.DefaultMutateConfig(2))
+	reads := gpf.SimulateReads(donor, gpf.DefaultSimConfig(3, 10))
+	if len(reads) == 0 {
+		t.Fatal("no reads")
+	}
+
+	rt := gpf.NewRuntime(gpf.NewEngine(2), ref)
+	rt.PartitionLen = 5000
+	pairs := gpf.PairsToRDD(rt, reads, 4)
+	wgs := gpf.BuildWGSPipeline(rt, pairs, false)
+	if err := wgs.Pipeline.Run(); err != nil {
+		t.Fatal(err)
+	}
+	calls, err := gpf.CollectVCF(rt, wgs.VCF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) == 0 {
+		t.Fatal("no calls")
+	}
+
+	// Truth comparison through the public API.
+	var truth []gpf.VCFRecord
+	for _, v := range donor.Truth.Variants {
+		truth = append(truth, gpf.VCFRecord{
+			Chrom: ref.Contigs[v.Contig].Name, Pos: v.Pos,
+			Ref: string(v.Ref), Alt: string(v.Alt),
+		})
+	}
+	stats := gpf.CompareVCF(calls, truth, 2)
+	if stats.Recall() < 0.4 {
+		t.Fatalf("recall %.2f", stats.Recall())
+	}
+
+	// VCF round trip.
+	names := make([]string, ref.NumContigs())
+	for i := range names {
+		names[i] = ref.Contigs[i].Name
+	}
+	var buf bytes.Buffer
+	if err := gpf.WriteVCF(&buf, gpf.NewVCFHeader(names, ref.Lengths(), "s"), calls); err != nil {
+		t.Fatal(err)
+	}
+	_, back, err := gpf.ReadVCF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(calls) {
+		t.Fatalf("VCF round trip lost records: %d vs %d", len(back), len(calls))
+	}
+}
+
+// TestPublicAPIFileLoader checks the FASTA/FASTQ file paths of the API.
+func TestPublicAPIFileLoader(t *testing.T) {
+	ref := gpf.SynthesizeGenome(gpf.DefaultSynthConfig(5, 5000, 1))
+	var fasta bytes.Buffer
+	if err := gpf.WriteFASTA(&fasta, ref); err != nil {
+		t.Fatal(err)
+	}
+	back, err := gpf.ReadFASTA(&fasta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalLen() != ref.TotalLen() {
+		t.Fatal("FASTA round trip size mismatch")
+	}
+
+	rt := gpf.NewRuntime(gpf.NewEngine(1), ref)
+	fq1 := "@a/1\nACGTACGTACGTACGTACGT\n+\nIIIIIIIIIIIIIIIIIIII\n"
+	fq2 := "@a/2\nTTTTACGTACGTACGTACGT\n+\nIIIIIIIIIIIIIIIIIIII\n"
+	ds, err := gpf.LoadFastqPairToRDD(rt, strings.NewReader(fq1), strings.NewReader(fq2), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := gpf.Count("count", ds)
+	if err != nil || n != 1 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+}
+
+// TestPublicAPIEngineOps exercises the engine-operation wrappers used for
+// custom Processes.
+func TestPublicAPIEngineOps(t *testing.T) {
+	eng := gpf.NewEngine(2)
+	d := gpf.Parallelize(eng, []int{5, 3, 1, 4, 2}, 2)
+	mapped, err := gpf.Map("m", d, nil, func(x int) int { return x * 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered, err := gpf.Filter("f", mapped, func(x int) bool { return x > 4 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sorted, err := gpf.SortPartitions("s", filtered, func(a, b int) bool { return a < b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := gpf.PartitionBy("p", sorted, 3, func(x int) int { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, found, err := gpf.Reduce("r", shuffled, func(a, b int) int { return a + b })
+	if err != nil || !found {
+		t.Fatal(err)
+	}
+	if sum != 10+6+8 {
+		t.Fatalf("sum = %d", sum)
+	}
+	all, err := gpf.Collect("c", shuffled)
+	if err != nil || len(all) != 3 {
+		t.Fatalf("collect = %v, %v", all, err)
+	}
+	flat, err := gpf.FlatMap("fm", shuffled, nil, func(x int) []int { return []int{x, x} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := gpf.Count("c2", flat); n != 6 {
+		t.Fatalf("flatmap count = %d", n)
+	}
+}
+
+// TestPublicAPICodecs exercises the codec exports.
+func TestPublicAPICodecs(t *testing.T) {
+	seqs := [][]byte{[]byte("ACGTN")}
+	quals := [][]byte{[]byte("IIII#")}
+	block, err := gpf.EncodeSeqQualBlock(seqs, quals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, q, err := gpf.DecodeSeqQualBlock(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(s[0]) != "ACGTN" || string(q[0]) != "IIII#" {
+		t.Fatalf("round trip: %q %q", s[0], q[0])
+	}
+	if gpf.CompressionRatio(100, 50) != 2 {
+		t.Fatal("ratio export broken")
+	}
+}
