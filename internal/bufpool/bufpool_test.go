@@ -1,0 +1,46 @@
+package bufpool
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestGetReturnsResetBuffer(t *testing.T) {
+	b := Get()
+	b.WriteString("hello")
+	Put(b)
+	b2 := Get()
+	if b2.Len() != 0 {
+		t.Fatalf("pooled buffer not reset: %d bytes", b2.Len())
+	}
+	Put(b2)
+}
+
+func TestBytesCopiesOut(t *testing.T) {
+	b := Get()
+	b.WriteString("payload")
+	out := Bytes(b)
+	Put(b)
+	// Mutating or reusing the pooled buffer must not alias the returned slice.
+	b3 := Get()
+	b3.WriteString("XXXXXXX")
+	if !bytes.Equal(out, []byte("payload")) {
+		t.Fatalf("Bytes aliases pooled storage: %q", out)
+	}
+	Put(b3)
+}
+
+func TestBytesEmpty(t *testing.T) {
+	b := Get()
+	if got := Bytes(b); got != nil {
+		t.Fatalf("Bytes of empty buffer = %v, want nil", got)
+	}
+	Put(b)
+}
+
+func TestPutDropsOversized(t *testing.T) {
+	b := Get()
+	b.Grow(maxRetain + 1)
+	Put(b) // must not panic; oversized buffers are dropped
+	Put(nil)
+}

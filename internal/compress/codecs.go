@@ -6,6 +6,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"github.com/gpf-go/gpf/internal/bufpool"
 	"github.com/gpf-go/gpf/internal/fastq"
 	"github.com/gpf-go/gpf/internal/sam"
 )
@@ -369,13 +370,16 @@ type GobCodec[T any] struct{}
 // Name identifies the codec in metrics output.
 func (GobCodec[T]) Name() string { return "gob" }
 
-// Marshal encodes a batch through encoding/gob.
+// Marshal encodes a batch through encoding/gob. The encode buffer is pooled:
+// gob grows its scratch buffer through several doublings per partition, which
+// dominates shuffle-side allocations without reuse.
 func (GobCodec[T]) Marshal(items []T) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(items); err != nil {
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
+	if err := gob.NewEncoder(buf).Encode(items); err != nil {
 		return nil, fmt.Errorf("compress: gob encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	return bufpool.Bytes(buf), nil
 }
 
 // Unmarshal inverts Marshal.

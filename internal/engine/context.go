@@ -1,12 +1,25 @@
 // Package engine implements the in-memory dataflow engine underneath GPF —
 // the stand-in for Apache Spark in this reproduction. Datasets are split into
-// partitions processed by a worker pool; narrow operations (map, filter,
-// flatMap) transform partitions in place in the task graph, wide operations
-// (partitionBy, union+shuffle, sort) move data through a hash shuffle whose
-// byte volume is charged through a pluggable serializer; actions (collect,
-// reduce) return data to the driver. Per-task and per-stage metrics (wall
-// time, shuffle bytes, serialization time, GC pauses) feed the cluster
-// simulator and the blocked-time analysis of §5.3.
+// partitions processed by a worker pool.
+//
+// Execution follows the paper's lazy lineage DAG (§4.3): narrow operations
+// (Map, Filter, FlatMap, MapPartitions, ZipPartitions) do not run when
+// called — they record a lineage node, and the planner fuses each maximal
+// chain of narrow ops into ONE task launch per partition when a barrier
+// forces the plan. Barriers are the actions (Collect, Reduce, Count,
+// CountByKey), the wide operations (PartitionBy, Repartition, Union) and
+// SortPartitions. Within a fused stage, items flow through the composed
+// closures with no intermediate partition storage and no intermediate codec
+// round-trip; the stage is recorded in metrics under the joined op names
+// (e.g. "align/bwa-mem+filter") with StageMetrics.FusedOps set to the chain
+// length. Context.DisableFusion switches back to eager one-stage-per-op
+// execution (the Spark-without-fusion ablation).
+//
+// Wide operations move data through a hash shuffle whose byte volume is
+// charged through a pluggable serializer; actions return data to the driver.
+// Per-task and per-stage metrics (wall time, shuffle bytes, serialization
+// time, GC pauses) feed the cluster simulator and the blocked-time analysis
+// of §5.3.
 package engine
 
 import (
@@ -34,6 +47,12 @@ type Context struct {
 	// whenever a codec is attached — Spark's MEMORY_ONLY_SER mode that GPF
 	// relies on (§4.2). Off by default.
 	StoreSerialized bool
+
+	// DisableFusion turns off lazy narrow-stage fusion: every narrow op runs
+	// eagerly as its own stage with its own intermediate dataset (and, under
+	// StoreSerialized, its own codec round-trip). Used as the unfused
+	// baseline in the fusion ablation; off (fusion on) by default.
+	DisableFusion bool
 
 	mu      sync.Mutex
 	metrics Metrics

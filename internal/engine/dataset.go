@@ -6,17 +6,23 @@ import (
 	"fmt"
 	"runtime"
 	"time"
+
+	"github.com/gpf-go/gpf/internal/bufpool"
 )
 
 // Dataset is a partitioned in-memory collection — the engine's RDD. A
-// dataset lives either materialized (parts) or serialized (blocks, when a
-// codec is attached and the context stores serialized). Datasets are
-// immutable: operations return new datasets.
+// dataset lives in one of three states: materialized (parts), serialized
+// (blocks, when a codec is attached and the context stores serialized), or
+// lazy (plan: a recorded chain of narrow ops not yet executed — see
+// lineage.go). Datasets are immutable once materialized: operations return
+// new datasets; forcing a lazy dataset fills parts/blocks in place exactly
+// once.
 type Dataset[T any] struct {
 	ctx    *Context
 	parts  [][]T
 	blocks [][]byte
 	codec  Serializer[T]
+	plan   *lineage[T]
 }
 
 // gobSerializer is the built-in generic fallback codec, standing in for Java
@@ -26,11 +32,12 @@ type gobSerializer[T any] struct{}
 func (gobSerializer[T]) Name() string { return "gob" }
 
 func (gobSerializer[T]) Marshal(items []T) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(items); err != nil {
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
+	if err := gob.NewEncoder(buf).Encode(items); err != nil {
 		return nil, fmt.Errorf("engine: gob encode: %w", err)
 	}
-	return buf.Bytes(), nil
+	return bufpool.Bytes(buf), nil
 }
 
 func (gobSerializer[T]) Unmarshal(data []byte) ([]T, error) {
@@ -70,9 +77,14 @@ func FromPartitions[T any](ctx *Context, parts [][]T) *Dataset[T] {
 
 // WithCodec attaches a serializer to the dataset; subsequent stage outputs
 // are stored serialized when ctx.StoreSerialized is set, and shuffles use the
-// codec for byte accounting.
+// codec for byte accounting. On a lazy dataset the pending plan is forked so
+// each codec variant forces and materializes independently.
 func WithCodec[T any](d *Dataset[T], codec Serializer[T]) *Dataset[T] {
-	return &Dataset[T]{ctx: d.ctx, parts: d.parts, blocks: d.blocks, codec: codec}
+	res := &Dataset[T]{ctx: d.ctx, parts: d.parts, blocks: d.blocks, codec: codec}
+	if d.isLazy() {
+		res.plan = d.plan.fork()
+	}
+	return res
 }
 
 // Codec returns the attached serializer (nil when none).
@@ -81,8 +93,12 @@ func (d *Dataset[T]) Codec() Serializer[T] { return d.codec }
 // Context returns the owning context.
 func (d *Dataset[T]) Context() *Context { return d.ctx }
 
-// NumPartitions returns the partition count.
+// NumPartitions returns the partition count (known without forcing: narrow
+// ops preserve partitioning).
 func (d *Dataset[T]) NumPartitions() int {
+	if d.plan != nil {
+		return d.plan.nparts
+	}
 	if d.blocks != nil {
 		return len(d.blocks)
 	}
@@ -98,8 +114,18 @@ func (d *Dataset[T]) effectiveCodec() Serializer[T] {
 }
 
 // partition materializes partition p, decoding when stored serialized, and
-// charges codec time to tm when non-nil.
+// charges codec time to tm when non-nil. On a lazy dataset the partition is
+// computed through the fused chain closure (downstream lineages read their
+// sources this way, which is what fuses an unforced upstream chain into the
+// caller's task).
 func (d *Dataset[T]) partition(p int, tm *TaskMetrics) ([]T, error) {
+	if d.isLazy() {
+		return d.plan.compute(p, tm)
+	}
+	if d.plan != nil && d.plan.err != nil {
+		// Forced and failed: the error is sticky, don't serve partial data.
+		return nil, d.plan.err
+	}
 	if d.blocks != nil {
 		start := time.Now()
 		items, err := d.effectiveCodec().Unmarshal(d.blocks[p])

@@ -273,12 +273,18 @@ func TestTaskErrorPropagation(t *testing.T) {
 	ctx := NewContext(2)
 	d := Parallelize(ctx, intRange(10), 4)
 	wantErr := errors.New("boom")
-	_, err := MapPartitions("failing", d, nil, func(p int, items []int) ([]int, error) {
+	// Narrow ops are lazy: the op call succeeds, the error surfaces when a
+	// barrier forces the fused chain, wrapped with the failing op's name.
+	failing, err := MapPartitions("failing", d, nil, func(p int, items []int) ([]int, error) {
 		if p == 2 {
 			return nil, wantErr
 		}
 		return items, nil
 	})
+	if err != nil {
+		t.Fatalf("lazy op should not error at record time: %v", err)
+	}
+	_, err = Collect("c", failing)
 	if err == nil || !errors.Is(err, wantErr) {
 		t.Fatalf("err = %v, want wrap of boom", err)
 	}
@@ -290,13 +296,16 @@ func TestTaskErrorPropagation(t *testing.T) {
 func TestTaskPanicRecovered(t *testing.T) {
 	ctx := NewContext(2)
 	d := Parallelize(ctx, intRange(10), 4)
-	_, err := Map("panicky", d, nil, func(x int) int {
+	m, err := Map("panicky", d, nil, func(x int) int {
 		if x == 7 {
 			panic("executor died")
 		}
 		return x
 	})
-	if err == nil || !strings.Contains(err.Error(), "panicked") {
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Count("count", m); err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("panic should surface as error, got %v", err)
 	}
 }
@@ -307,6 +316,10 @@ func TestSerializedStorage(t *testing.T) {
 	d := WithCodec(Parallelize(ctx, intRange(100), 4), gobSerializer[int]{})
 	m, err := Map("ser", d, gobSerializer[int]{}, func(x int) int { return x + 1 })
 	if err != nil {
+		t.Fatal(err)
+	}
+	// Lazy until forced; Force materializes the serialized blocks.
+	if err := m.Force(); err != nil {
 		t.Fatal(err)
 	}
 	if m.MemoryBytes() == 0 {

@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// lineage is the deferred execution plan of a lazy dataset: the maximal chain
+// of narrow operations recorded since the last materialized ancestor. Narrow
+// ops (Map/Filter/FlatMap/MapPartitions/ZipPartitions) do not execute when
+// called — they append themselves to the lineage, and compute is the fully
+// composed partition closure. A barrier (action, shuffle, union, sort) forces
+// the plan: one task launch per partition runs the whole chain, items flow
+// through the composed closures with no intermediate storePartition and no
+// intermediate codec round-trip, and the chain is recorded as a single fused
+// StageMetrics row.
+type lineage[T any] struct {
+	nparts int
+	// ops holds the recorded op names in execution order; the fused stage is
+	// named by joining them with "+".
+	ops []string
+	// compute evaluates partition p through the whole fused chain. It reads
+	// ancestor partitions via Dataset.partition, so a chain rooted at a
+	// since-materialized dataset picks up the stored data instead of
+	// recomputing.
+	compute func(p int, tm *TaskMetrics) ([]T, error)
+
+	// children counts lazy consumers recorded over this node. The planner
+	// fuses maximal LINEAR chains: a second lazy consumer makes this node a
+	// branch point of the DAG, which forces it (otherwise both branches would
+	// inline — and recompute — the shared prefix).
+	children atomic.Int32
+
+	once sync.Once
+	done atomic.Bool
+	err  error
+}
+
+// fusedName joins the recorded op names into the fused stage name.
+func (l *lineage[T]) fusedName() string { return strings.Join(l.ops, "+") }
+
+// fork duplicates the plan with fresh force state, sharing the composed
+// closure. WithCodec uses this so each codec-variant materializes into its
+// own dataset.
+func (l *lineage[T]) fork() *lineage[T] {
+	return &lineage[T]{nparts: l.nparts, ops: append([]string(nil), l.ops...), compute: l.compute}
+}
+
+// isLazy reports whether the dataset still has an unforced plan.
+func (d *Dataset[T]) isLazy() bool { return d.plan != nil && !d.plan.done.Load() }
+
+// lineageOps returns the pending op names of a lazy dataset (nil otherwise).
+func (d *Dataset[T]) lineageOps() []string {
+	if d.isLazy() {
+		return d.plan.ops
+	}
+	return nil
+}
+
+// chainOps builds the op list for a new lineage node: the pending upstream
+// ops followed by name.
+func chainOps(upstream []string, name string) []string {
+	ops := make([]string, 0, len(upstream)+1)
+	ops = append(ops, upstream...)
+	return append(ops, name)
+}
+
+// claimLazyInput registers d as the input of a new lineage node. The first
+// lazy consumer fuses with d's pending chain; a second consumer marks d as a
+// DAG branch point and forces it, so both branches read the materialized
+// partitions instead of each recomputing the shared prefix. A Force error
+// here is deliberately dropped: it is sticky on the plan and resurfaces from
+// Dataset.partition when the consumer's own chain is forced.
+func claimLazyInput[T any](d *Dataset[T]) {
+	if d.isLazy() && d.plan.children.Add(1) > 1 {
+		_ = d.Force()
+	}
+}
+
+// recordTaskInput charges the fused chain's source partition size to the
+// task's InputItems. Only the innermost executed op observes the true chain
+// input, and it runs first, so later (outer) closures leave a non-zero value
+// alone.
+func recordTaskInput(tm *TaskMetrics, n int) {
+	if tm != nil && tm.InputItems == 0 {
+		tm.InputItems = n
+	}
+}
+
+// lazyNarrow records a single-input narrow op as a lineage node, composing fn
+// over the input's pending chain.
+func lazyNarrow[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(p int, items []T) ([]U, error)) *Dataset[U] {
+	claimLazyInput(d)
+	return &Dataset[U]{
+		ctx:   d.ctx,
+		codec: codec,
+		plan: &lineage[U]{
+			nparts: d.NumPartitions(),
+			ops:    chainOps(d.lineageOps(), name),
+			compute: func(p int, tm *TaskMetrics) ([]U, error) {
+				in, err := d.partition(p, tm)
+				if err != nil {
+					return nil, err
+				}
+				recordTaskInput(tm, len(in))
+				out, err := fn(p, in)
+				if err != nil {
+					return nil, fmt.Errorf("engine: stage %q partition %d: %w", name, p, err)
+				}
+				return out, nil
+			},
+		},
+	}
+}
+
+// lazyZip2 records a two-input narrow op (co-partitioned zip) as a lineage
+// node; both inputs' pending chains fuse into the new plan.
+func lazyZip2[A, B, U any](name string, a *Dataset[A], b *Dataset[B], codec Serializer[U], fn func(p int, as []A, bs []B) ([]U, error)) *Dataset[U] {
+	claimLazyInput(a)
+	claimLazyInput(b)
+	return &Dataset[U]{
+		ctx:   a.ctx,
+		codec: codec,
+		plan: &lineage[U]{
+			nparts: a.NumPartitions(),
+			ops:    chainOps(append(append([]string(nil), a.lineageOps()...), b.lineageOps()...), name),
+			compute: func(p int, tm *TaskMetrics) ([]U, error) {
+				as, err := a.partition(p, tm)
+				if err != nil {
+					return nil, err
+				}
+				bs, err := b.partition(p, tm)
+				if err != nil {
+					return nil, err
+				}
+				recordTaskInput(tm, len(as)+len(bs))
+				out, err := fn(p, as, bs)
+				if err != nil {
+					return nil, fmt.Errorf("engine: stage %q partition %d: %w", name, p, err)
+				}
+				return out, nil
+			},
+		},
+	}
+}
+
+// lazyZip3 records a three-input narrow op as a lineage node.
+func lazyZip3[A, B, C, U any](name string, a *Dataset[A], b *Dataset[B], c *Dataset[C], codec Serializer[U], fn func(p int, as []A, bs []B, cs []C) ([]U, error)) *Dataset[U] {
+	claimLazyInput(a)
+	claimLazyInput(b)
+	claimLazyInput(c)
+	ops := append(append([]string(nil), a.lineageOps()...), b.lineageOps()...)
+	ops = append(ops, c.lineageOps()...)
+	return &Dataset[U]{
+		ctx:   a.ctx,
+		codec: codec,
+		plan: &lineage[U]{
+			nparts: a.NumPartitions(),
+			ops:    chainOps(ops, name),
+			compute: func(p int, tm *TaskMetrics) ([]U, error) {
+				as, err := a.partition(p, tm)
+				if err != nil {
+					return nil, err
+				}
+				bs, err := b.partition(p, tm)
+				if err != nil {
+					return nil, err
+				}
+				cs, err := c.partition(p, tm)
+				if err != nil {
+					return nil, err
+				}
+				recordTaskInput(tm, len(as)+len(bs)+len(cs))
+				out, err := fn(p, as, bs, cs)
+				if err != nil {
+					return nil, fmt.Errorf("engine: stage %q partition %d: %w", name, p, err)
+				}
+				return out, nil
+			},
+		},
+	}
+}
+
+// Force materializes a lazy dataset: the whole pending narrow chain runs as
+// ONE fused stage (one task launch per partition) and the result is stored in
+// the dataset, so later reads — and downstream lineages rooted here — reuse
+// it instead of recomputing. Actions and wide operations call Force
+// implicitly; it is exported for callers that want an explicit execution
+// barrier (e.g. before timing a downstream stage). Forcing a materialized
+// dataset is a no-op.
+func (d *Dataset[T]) Force() error {
+	if d.plan == nil {
+		return nil
+	}
+	pl := d.plan
+	pl.once.Do(func() {
+		pl.err = runFused(d)
+		pl.done.Store(true)
+	})
+	return pl.err
+}
+
+// runFused executes the dataset's fused plan: one stage, one task per
+// partition, each task streaming its partition through the composed closures
+// and storing only the final output. The stage is recorded under the joined
+// op names with FusedOps set to the chain length.
+func runFused[T any](d *Dataset[T]) error {
+	pl := d.plan
+	n := pl.nparts
+	if d.ctx.StoreSerialized && d.codec != nil {
+		d.blocks = make([][]byte, n)
+	} else {
+		d.parts = make([][]T, n)
+	}
+	stage := StageMetrics{Name: pl.fusedName(), Kind: StageNarrow, FusedOps: len(pl.ops)}
+	var tms []TaskMetrics
+	gc, err := gcPauseDelta(func() error {
+		var err error
+		tms, err = d.ctx.runTasks(n, func(p int, tm *TaskMetrics) error {
+			start := time.Now()
+			out, err := pl.compute(p, tm)
+			if err != nil {
+				return err
+			}
+			tm.OutputItems = len(out)
+			if err := storePartition(d, p, out, tm); err != nil {
+				return err
+			}
+			tm.Wall = time.Since(start)
+			return nil
+		})
+		return err
+	})
+	stage.Tasks = tms
+	stage.GCPause = gc
+	d.ctx.recordStage(stage)
+	return err
+}

@@ -38,10 +38,15 @@ type TaskMetrics struct {
 
 // StageMetrics records one stage.
 type StageMetrics struct {
-	ID    int
-	Name  string
-	Kind  StageKind
-	Tasks []TaskMetrics
+	ID   int
+	Name string
+	Kind StageKind
+	// FusedOps is the number of narrow operations fused into this stage by
+	// the lineage planner (0 for stages that never went through the planner:
+	// shuffles, actions, eager narrow stages). The stage Name joins the fused
+	// op names with "+" in execution order.
+	FusedOps int
+	Tasks    []TaskMetrics
 	// GCPause is the delta of runtime GC pause time observed across the
 	// stage (driver-wide, attributed to the stage that triggered it).
 	GCPause time.Duration
@@ -152,6 +157,16 @@ func (m Metrics) TotalGCPause() time.Duration {
 		d += m.Stages[i].GCPause
 	}
 	return d
+}
+
+// TotalFusedOps sums fused narrow-op counts over all stages — the number of
+// logical narrow operations the planner collapsed into fused stages.
+func (m Metrics) TotalFusedOps() int {
+	n := 0
+	for i := range m.Stages {
+		n += m.Stages[i].FusedOps
+	}
+	return n
 }
 
 // TotalDriverTime sums serial driver time.

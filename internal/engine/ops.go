@@ -7,7 +7,26 @@ import (
 
 // MapPartitions is the fundamental narrow operation: fn transforms each
 // partition independently. fn receives the partition index and its items.
+//
+// Narrow operations are LAZY: the call records a lineage node and returns
+// immediately; a downstream barrier (action, shuffle, union, sort) forces the
+// maximal pending chain as one fused stage (see lineage.go). Errors from fn
+// therefore surface at the barrier, wrapped with this stage's name. Setting
+// Context.DisableFusion restores eager one-stage-per-op execution.
 func MapPartitions[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(p int, items []T) ([]U, error)) (*Dataset[U], error) {
+	if d.ctx.DisableFusion {
+		return runNarrow(name, d, codec, fn)
+	}
+	return lazyNarrow(name, d, codec, fn), nil
+}
+
+// runNarrow is the eager narrow stage executor: one task launch per
+// partition, storing every output partition. Barriers that are themselves
+// narrow stages (SortPartitions) and fusion-disabled contexts run through it.
+func runNarrow[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(p int, items []T) ([]U, error)) (*Dataset[U], error) {
+	if err := d.Force(); err != nil {
+		return nil, err
+	}
 	res := newResult(d.ctx, codec, d.NumPartitions())
 	stage := StageMetrics{Name: name, Kind: StageNarrow}
 	var tms []TaskMetrics
@@ -79,99 +98,62 @@ func Filter[T any](name string, d *Dataset[T], pred func(T) bool) (*Dataset[T], 
 
 // ZipPartitions2 applies fn to aligned partitions of two co-partitioned
 // datasets. The partition counts must match; this is a narrow operation
-// (the Fig 7b fused bundle-map relies on it).
+// (the Fig 7b fused bundle-map relies on it) and is lazy like MapPartitions:
+// both inputs' pending chains fuse into the recorded node.
 func ZipPartitions2[A, B, U any](name string, a *Dataset[A], b *Dataset[B], codec Serializer[U], fn func(p int, as []A, bs []B) ([]U, error)) (*Dataset[U], error) {
 	if a.NumPartitions() != b.NumPartitions() {
 		return nil, fmt.Errorf("engine: stage %q: partition counts differ: %d vs %d", name, a.NumPartitions(), b.NumPartitions())
 	}
-	res := newResult(a.ctx, codec, a.NumPartitions())
-	stage := StageMetrics{Name: name, Kind: StageNarrow}
-	var tms []TaskMetrics
-	gc, err := gcPauseDelta(func() error {
-		var err error
-		tms, err = a.ctx.runTasks(a.NumPartitions(), func(p int, tm *TaskMetrics) error {
-			start := time.Now()
-			as, err := a.partition(p, tm)
-			if err != nil {
-				return err
-			}
-			bs, err := b.partition(p, tm)
-			if err != nil {
-				return err
-			}
-			tm.InputItems = len(as) + len(bs)
-			out, err := fn(p, as, bs)
-			if err != nil {
-				return fmt.Errorf("engine: stage %q partition %d: %w", name, p, err)
-			}
-			tm.OutputItems = len(out)
-			if err := storePartition(res, p, out, tm); err != nil {
-				return err
-			}
-			tm.Wall = time.Since(start)
-			return nil
-		})
-		return err
-	})
-	stage.Tasks = tms
-	stage.GCPause = gc
-	a.ctx.recordStage(stage)
-	if err != nil {
+	if !a.ctx.DisableFusion {
+		return lazyZip2(name, a, b, codec, fn), nil
+	}
+	if err := b.Force(); err != nil {
 		return nil, err
 	}
-	return res, nil
+	return runNarrow(name, a, codec, func(p int, as []A) ([]U, error) {
+		bs, err := b.partition(p, nil)
+		if err != nil {
+			return nil, err
+		}
+		return fn(p, as, bs)
+	})
 }
 
 // ZipPartitions3 applies fn to aligned partitions of three co-partitioned
 // datasets — the bundle join of Fig 7 (FASTA + SAM + VCF per partition).
+// Lazy like ZipPartitions2.
 func ZipPartitions3[A, B, C, U any](name string, a *Dataset[A], b *Dataset[B], c *Dataset[C], codec Serializer[U], fn func(p int, as []A, bs []B, cs []C) ([]U, error)) (*Dataset[U], error) {
 	if a.NumPartitions() != b.NumPartitions() || a.NumPartitions() != c.NumPartitions() {
 		return nil, fmt.Errorf("engine: stage %q: partition counts differ: %d/%d/%d", name, a.NumPartitions(), b.NumPartitions(), c.NumPartitions())
 	}
-	res := newResult(a.ctx, codec, a.NumPartitions())
-	stage := StageMetrics{Name: name, Kind: StageNarrow}
-	var tms []TaskMetrics
-	gc, err := gcPauseDelta(func() error {
-		var err error
-		tms, err = a.ctx.runTasks(a.NumPartitions(), func(p int, tm *TaskMetrics) error {
-			start := time.Now()
-			as, err := a.partition(p, tm)
-			if err != nil {
-				return err
-			}
-			bs, err := b.partition(p, tm)
-			if err != nil {
-				return err
-			}
-			cs, err := c.partition(p, tm)
-			if err != nil {
-				return err
-			}
-			tm.InputItems = len(as) + len(bs) + len(cs)
-			out, err := fn(p, as, bs, cs)
-			if err != nil {
-				return fmt.Errorf("engine: stage %q partition %d: %w", name, p, err)
-			}
-			tm.OutputItems = len(out)
-			if err := storePartition(res, p, out, tm); err != nil {
-				return err
-			}
-			tm.Wall = time.Since(start)
-			return nil
-		})
-		return err
-	})
-	stage.Tasks = tms
-	stage.GCPause = gc
-	a.ctx.recordStage(stage)
-	if err != nil {
+	if !a.ctx.DisableFusion {
+		return lazyZip3(name, a, b, c, codec, fn), nil
+	}
+	if err := b.Force(); err != nil {
 		return nil, err
 	}
-	return res, nil
+	if err := c.Force(); err != nil {
+		return nil, err
+	}
+	return runNarrow(name, a, codec, func(p int, as []A) ([]U, error) {
+		bs, err := b.partition(p, nil)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := c.partition(p, nil)
+		if err != nil {
+			return nil, err
+		}
+		return fn(p, as, bs, cs)
+	})
 }
 
-// Collect gathers all partitions to the driver in partition order.
+// Collect gathers all partitions to the driver in partition order. Collect is
+// an action: it forces any pending narrow chain first.
 func Collect[T any](name string, d *Dataset[T]) ([]T, error) {
+	if err := d.Force(); err != nil {
+		return nil, err
+	}
 	parts := make([][]T, d.NumPartitions())
 	stage := StageMetrics{Name: name, Kind: StageAction}
 	var tms []TaskMetrics
@@ -214,8 +196,13 @@ func Collect[T any](name string, d *Dataset[T]) ([]T, error) {
 
 // Reduce folds all items with an associative function. Each task reduces its
 // partition; the driver reduces partial results serially (the Collect-style
-// serial step that throttles BQSR in §5.2.2).
+// serial step that throttles BQSR in §5.2.2). Reduce is an action: it forces
+// any pending narrow chain first.
 func Reduce[T any](name string, d *Dataset[T], fn func(T, T) T) (T, bool, error) {
+	var zero T
+	if err := d.Force(); err != nil {
+		return zero, false, err
+	}
 	type partial struct {
 		v  T
 		ok bool
@@ -246,7 +233,6 @@ func Reduce[T any](name string, d *Dataset[T], fn func(T, T) T) (T, bool, error)
 	})
 	stage.Tasks = tms
 	stage.GCPause = gc
-	var zero T
 	driverStart := time.Now()
 	var acc T
 	found := false
@@ -270,8 +256,12 @@ func Reduce[T any](name string, d *Dataset[T], fn func(T, T) T) (T, bool, error)
 	return acc, found, nil
 }
 
-// Count returns the total number of items.
+// Count returns the total number of items. Count is an action: it forces any
+// pending narrow chain first.
 func Count[T any](name string, d *Dataset[T]) (int, error) {
+	if err := d.Force(); err != nil {
+		return 0, err
+	}
 	counts := make([]int, d.NumPartitions())
 	stage := StageMetrics{Name: name, Kind: StageAction}
 	var tms []TaskMetrics

@@ -6,16 +6,16 @@ import (
 	"time"
 )
 
-// PartitionBy is the wide operation: items are routed to the output
-// partition returned by key (reduced modulo numPartitions). The map side
-// serializes each bucket through the dataset's codec, charging shuffle-write
-// bytes to map tasks; the reduce side decodes its buckets, charging
-// shuffle-read bytes. This mirrors Spark's hash shuffle, where shuffle data
-// is always serialized (and spilled to disk) even for in-memory datasets —
-// the behaviour §5.3.1 measures.
-func PartitionBy[T any](name string, d *Dataset[T], numPartitions int, key func(T) int) (*Dataset[T], error) {
+// shuffle is the wide-operation core: route decides the destination
+// partition of each item from (map partition, item index, item), map tasks
+// bucket and serialize, reduce tasks fetch and decode. Shuffles are barriers:
+// any pending narrow chain on d is forced first.
+func shuffle[T any](name string, d *Dataset[T], numPartitions int, route func(p, idx int, item T) int) (*Dataset[T], error) {
 	if numPartitions < 1 {
 		return nil, fmt.Errorf("engine: stage %q: numPartitions must be positive", name)
+	}
+	if err := d.Force(); err != nil {
+		return nil, err
 	}
 	codec := d.effectiveCodec()
 	in := d.NumPartitions()
@@ -34,8 +34,8 @@ func PartitionBy[T any](name string, d *Dataset[T], numPartitions int, key func(
 			}
 			tm.InputItems = len(items)
 			local := make([][]T, numPartitions)
-			for _, it := range items {
-				k := key(it) % numPartitions
+			for idx, it := range items {
+				k := route(p, idx, it) % numPartitions
 				if k < 0 {
 					k += numPartitions
 				}
@@ -109,21 +109,37 @@ func PartitionBy[T any](name string, d *Dataset[T], numPartitions int, key func(
 	return res, nil
 }
 
+// PartitionBy is the wide operation: items are routed to the output
+// partition returned by key (reduced modulo numPartitions). The map side
+// serializes each bucket through the dataset's codec, charging shuffle-write
+// bytes to map tasks; the reduce side decodes its buckets, charging
+// shuffle-read bytes. This mirrors Spark's hash shuffle, where shuffle data
+// is always serialized (and spilled to disk) even for in-memory datasets —
+// the behaviour §5.3.1 measures.
+func PartitionBy[T any](name string, d *Dataset[T], numPartitions int, key func(T) int) (*Dataset[T], error) {
+	return shuffle(name, d, numPartitions, func(_, _ int, it T) int { return key(it) })
+}
+
 // Repartition rebalances items round-robin into numPartitions (a shuffle
-// without a semantic key).
+// without a semantic key). The destination is derived from the item's index
+// within its source partition (offset by the partition id so co-sized inputs
+// don't all start at bucket 0) — a pure function of (p, idx), so concurrent
+// map tasks share no counter state.
 func Repartition[T any](name string, d *Dataset[T], numPartitions int) (*Dataset[T], error) {
-	i := 0
-	return PartitionBy(name, d, numPartitions, func(T) int {
-		i++
-		return i
-	})
+	return shuffle(name, d, numPartitions, func(p, idx int, _ T) int { return p + idx })
 }
 
 // Union concatenates datasets partition-wise (a narrow operation: partitions
-// are appended, not merged).
+// are appended, not merged). Union is a barrier: pending narrow chains on
+// every input are forced first.
 func Union[T any](name string, ds ...*Dataset[T]) (*Dataset[T], error) {
 	if len(ds) == 0 {
 		return nil, fmt.Errorf("engine: stage %q: union of nothing", name)
+	}
+	for _, d := range ds {
+		if err := d.Force(); err != nil {
+			return nil, err
+		}
 	}
 	ctx := ds[0].ctx
 	var total int
@@ -172,9 +188,11 @@ func Union[T any](name string, ds ...*Dataset[T]) (*Dataset[T], error) {
 
 // SortPartitions sorts every partition in place by less — used after a
 // PartitionBy keyed on genomic position to produce coordinate-sorted
-// partitions (the Cleaner's sort step).
+// partitions (the Cleaner's sort step). Sorting needs the whole partition
+// resident, so it is a barrier: the pending chain is forced and the sort runs
+// as its own eager stage.
 func SortPartitions[T any](name string, d *Dataset[T], less func(a, b T) bool) (*Dataset[T], error) {
-	return MapPartitions(name, d, d.codec, func(_ int, items []T) ([]T, error) {
+	return runNarrow(name, d, d.codec, func(_ int, items []T) ([]T, error) {
 		out := append([]T(nil), items...)
 		sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
 		return out, nil
@@ -183,8 +201,12 @@ func SortPartitions[T any](name string, d *Dataset[T], less func(a, b T) bool) (
 
 // CountByKey returns a map from key to item count — the read census of the
 // dynamic repartitioner (§4.4 step 2: "reduce is performed ... and returns
-// the number of reads in each partition to the driver").
+// the number of reads in each partition to the driver"). CountByKey is an
+// action: it forces any pending narrow chain first.
 func CountByKey[T any](name string, d *Dataset[T], key func(T) int) (map[int]int, error) {
+	if err := d.Force(); err != nil {
+		return nil, err
+	}
 	partials := make([]map[int]int, d.NumPartitions())
 	stage := StageMetrics{Name: name, Kind: StageAction}
 	var tms []TaskMetrics

@@ -4,9 +4,13 @@ import "github.com/gpf-go/gpf/internal/engine"
 
 // Engine operations for building custom Processes: the same primitives the
 // built-in Processes use. Narrow operations (Map, Filter, FlatMap,
-// MapPartitions) transform partitions in place; PartitionBy shuffles by key;
-// Collect, Reduce and Count are driver actions. Every call is recorded in
-// the engine metrics under its stage name.
+// MapPartitions) are lazy — they record lineage and execute only at a
+// barrier (an action such as Collect, Reduce or Count, or a wide operation
+// such as PartitionBy or SortPartitions), at which point the maximal chain
+// of pending narrow ops runs as a single fused stage per partition. A fused
+// chain appears in the engine metrics as one stage named by joining the op
+// names with "+"; errors from narrow op functions likewise surface at the
+// barrier, not at the recording call.
 
 // Serializer is the partition codec interface (see GPFSAMCodec and friends).
 type Serializer[T any] = engine.Serializer[T]
