@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build test race vet lint check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+	$(GO) vet -copylocks -loopclosure ./...
+
+# lint runs the project's own analyzer suite (see DESIGN.md, "Checked
+# invariants"). CI fails on any diagnostic; suppress a justified finding
+# with `//lint:ignore gpflint/<name> reason`.
+lint:
+	$(GO) run ./cmd/gpflint ./...
+
+check: build vet lint test
+
+clean:
+	$(GO) clean ./...

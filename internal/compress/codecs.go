@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"sort"
 
 	"github.com/gpf-go/gpf/internal/bufpool"
 	"github.com/gpf-go/gpf/internal/fastq"
@@ -187,9 +188,19 @@ func appendSAMFixed(out []byte, r *sam.Record) []byte {
 	out = binary.AppendVarint(out, int64(r.MatePos))
 	out = binary.AppendVarint(out, int64(r.TempLen))
 	out = binary.AppendUvarint(out, uint64(len(r.Tags)))
-	for k, v := range r.Tags {
-		out = appendString(out, k)
-		out = appendString(out, v)
+	// Serialize tags in sorted key order: map iteration order is randomized
+	// per run, and shuffle blocks must be byte-identical across runs for
+	// reproducible replays (gpflint/mapiter enforces this).
+	if len(r.Tags) > 0 {
+		keys := make([]string, 0, len(r.Tags))
+		for k := range r.Tags {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			out = appendString(out, k)
+			out = appendString(out, r.Tags[k])
+		}
 	}
 	return out
 }

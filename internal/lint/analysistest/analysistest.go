@@ -1,0 +1,155 @@
+// Package analysistest runs gpflint analyzers over fixture packages and
+// checks their diagnostics against `// want "regexp"` comments — a minimal
+// stand-in for golang.org/x/tools/go/analysis/analysistest (unavailable in
+// this build environment).
+//
+// Fixture layout: one directory per fixture package under
+// internal/lint/testdata/src/<name>/. Every diagnostic line must carry a
+// want comment whose regexp matches the message; every want comment must be
+// matched by a diagnostic. Suppressed findings (`//lint:ignore`) are
+// filtered before matching, so a fixture line with an ignore directive and
+// no want comment asserts that suppression works.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/lint"
+	"github.com/gpf-go/gpf/internal/lint/analysis"
+	"github.com/gpf-go/gpf/internal/lint/loader"
+)
+
+// Run loads the fixture package in dir under the import path pkgPath (which
+// scoped analyzers match their package filters against), applies the
+// analyzers, and reports mismatches against the fixture's want comments.
+func Run(t *testing.T, dir, pkgPath string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	pkg, err := loader.LoadFiles(dir, pkgPath, files)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	diags, err := lint.Run([]*loader.Package{pkg}, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+
+	wants := collectWants(t, pkg)
+	type key struct {
+		file string
+		line int
+	}
+	matched := make(map[*want]bool)
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		k := key{filepath.Base(pos.Filename), pos.Line}
+		ok := false
+		for _, w := range wants {
+			if w.file == k.file && w.line == k.line && !matched[w] && w.re.MatchString(d.Message) {
+				matched[w] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s (gpflint/%s)", pos, d.Message, d.Analyzer)
+		}
+	}
+	for _, w := range wants {
+		if !matched[w] {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants parses `// want "re" ["re" ...]` comments from the fixture.
+func collectWants(t *testing.T, pkg *loader.Package) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				res, err := parseWant(strings.TrimPrefix(text, "want "))
+				if err != nil {
+					t.Fatalf("%s: bad want comment: %v", pos, err)
+				}
+				for _, re := range res {
+					wants = append(wants, &want{file: filepath.Base(pos.Filename), line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// parseWant splits a want payload into its quoted regexps.
+func parseWant(s string) ([]*regexp.Regexp, error) {
+	var out []*regexp.Regexp
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			break
+		}
+		if s[0] != '"' && s[0] != '`' {
+			return nil, fmt.Errorf("expected quoted regexp, got %q", s)
+		}
+		end := 1
+		for end < len(s) && (s[end] != s[0] || (s[0] == '"' && s[end-1] == '\\')) {
+			end++
+		}
+		if end == len(s) {
+			return nil, fmt.Errorf("unterminated regexp in %q", s)
+		}
+		var lit string
+		var err error
+		if s[0] == '`' {
+			lit = s[1:end]
+		} else {
+			lit, err = strconv.Unquote(s[:end+1])
+			if err != nil {
+				return nil, err
+			}
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, re)
+		s = s[end+1:]
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("want comment with no regexps")
+	}
+	return out, nil
+}

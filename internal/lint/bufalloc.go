@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/gpf-go/gpf/internal/lint/analysis"
+)
+
+// BufAlloc flags fresh bytes.Buffer allocations inside codec and serializer
+// hot paths (Marshal/Unmarshal/Encode/Decode functions in internal/compress
+// and internal/engine). These run once per partition per stage; PR 1 showed
+// the unpooled gob scratch buffer dominating shuffle-side allocations.
+// Buffers in these paths must come from internal/bufpool (Get/Put/Bytes).
+// Output slices that transfer ownership to the caller are fine — only the
+// Buffer staging pattern is flagged, since that is precisely what the pool
+// exists for.
+var BufAlloc = &analysis.Analyzer{
+	Name: "bufalloc",
+	Doc: "flags fresh bytes.Buffer allocations in codec hot paths that " +
+		"should use internal/bufpool",
+	Run: runBufAlloc,
+}
+
+var bufAllocScopes = []string{"internal/compress", "internal/engine"}
+
+// hotPathFunc reports whether a function name marks a serializer hot path.
+func hotPathFunc(name string) bool {
+	for _, marker := range [...]string{"Marshal", "Unmarshal", "Encode", "Decode", "Compress", "Decompress"} {
+		if strings.Contains(name, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func runBufAlloc(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), bufAllocScopes) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotPathFunc(fd.Name.Name) {
+				continue
+			}
+			checkBufAllocs(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkBufAllocs(pass *analysis.Pass, body *ast.BlockStmt) {
+	const advice = "allocates a fresh bytes.Buffer in a codec hot path (once per partition " +
+		"per stage); use internal/bufpool Get/Put/Bytes"
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CompositeLit:
+			// bytes.Buffer{} and &bytes.Buffer{} (the & wraps this node).
+			if t := pass.TypesInfo.TypeOf(e); t != nil && isNamed(t, "bytes", "Buffer") {
+				reportNode(pass, e, "composite literal "+advice)
+			}
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.TypesInfo, e); fn != nil && fn.Pkg() != nil &&
+				fn.Pkg().Path() == "bytes" && strings.HasPrefix(fn.Name(), "NewBuffer") {
+				reportNode(pass, e, "bytes."+fn.Name()+" "+advice)
+			}
+			// new(bytes.Buffer): a builtin call, not a *types.Func.
+			if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "new" && len(e.Args) == 1 {
+				if t := pass.TypesInfo.TypeOf(e.Args[0]); t != nil && isNamed(t, "bytes", "Buffer") {
+					reportNode(pass, e, "new(bytes.Buffer) "+advice)
+				}
+			}
+		case *ast.ValueSpec:
+			// var buf bytes.Buffer
+			if e.Type != nil {
+				if t := pass.TypesInfo.TypeOf(e.Type); t != nil && isNamed(t, "bytes", "Buffer") {
+					reportNode(pass, e, "var declaration "+advice)
+				}
+			}
+		}
+		return true
+	})
+}

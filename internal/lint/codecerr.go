@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/gpf-go/gpf/internal/lint/analysis"
+)
+
+// CodecErr flags dropped error returns from codec and serializer calls:
+// methods named Marshal/Unmarshal/Encode/Decode/Write*/Flush whose final
+// result is an error, declared either in this module or in the stdlib
+// encoding packages. A swallowed codec error in the shuffle or storage path
+// silently corrupts partitions — the decode side sees a truncated block and
+// the job produces wrong results instead of failing. Unlike errcheck this is
+// deliberately narrow: it only watches serialization surfaces, so it can run
+// as a required CI step without drowning the build in io noise.
+var CodecErr = &analysis.Analyzer{
+	Name: "codecerr",
+	Doc: "flags dropped errors from codec/serializer Encode/Decode/Write " +
+		"calls (a swallowed codec error corrupts partitions silently)",
+	Run: runCodecErr,
+}
+
+// codecMethodNames are the watched serialization entry points.
+var codecMethodNames = map[string]bool{
+	"Marshal":     true,
+	"Unmarshal":   true,
+	"Encode":      true,
+	"Decode":      true,
+	"Write":       true,
+	"WriteByte":   true,
+	"WriteString": true,
+	"WriteTo":     true,
+	"Flush":       true,
+}
+
+// stdlibCodecPkgs are non-module packages whose codec errors are also
+// watched (the engine's gob fallback flows through them).
+var stdlibCodecPkgs = map[string]bool{
+	"encoding/gob":    true,
+	"encoding/json":   true,
+	"encoding/binary": true,
+}
+
+// watchedCodecCall reports whether call is a codec call whose error must be
+// consumed.
+func watchedCodecCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || !codecMethodNames[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || !lastResultIsError(sig) {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if stdlibCodecPkgs[path] {
+		return true
+	}
+	// Module-internal declarations: stdlib import paths never contain a dot
+	// in their first element; module paths (ours included) do.
+	first, _, _ := strings.Cut(path, "/")
+	return strings.Contains(first, ".")
+}
+
+func runCodecErr(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(st.X).(*ast.CallExpr); ok && watchedCodecCall(pass.TypesInfo, call) {
+				reportCodecDrop(pass, call)
+			}
+		case *ast.DeferStmt:
+			if watchedCodecCall(pass.TypesInfo, st.Call) {
+				reportCodecDrop(pass, st.Call)
+			}
+		case *ast.GoStmt:
+			if watchedCodecCall(pass.TypesInfo, st.Call) {
+				reportCodecDrop(pass, st.Call)
+			}
+		case *ast.AssignStmt:
+			// `n, _ := w.Write(b)` / `_ = enc.Encode(v)`: the call is the sole
+			// RHS and the error position on the LHS is blank.
+			if len(st.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr)
+			if !ok || !watchedCodecCall(pass.TypesInfo, call) {
+				return true
+			}
+			errIdx := len(st.Lhs) - 1 // last result is the error
+			if id, ok := st.Lhs[errIdx].(*ast.Ident); ok && id.Name == "_" {
+				reportCodecDrop(pass, call)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+func reportCodecDrop(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	reportNode(pass, call, "error return of %s.%s dropped; a swallowed codec error "+
+		"silently corrupts serialized partitions — handle or propagate it",
+		fn.Pkg().Name(), fn.Name())
+}

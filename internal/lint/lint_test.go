@@ -1,0 +1,41 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/lint"
+	"github.com/gpf-go/gpf/internal/lint/analysistest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestSharedCapture(t *testing.T) {
+	analysistest.Run(t, fixture("sharedcapture"), "gpf/fixture/sharedcapture", lint.SharedCapture)
+}
+
+func TestMapIter(t *testing.T) {
+	analysistest.Run(t, fixture("mapiter"), "github.com/gpf-go/gpf/internal/engine/mapiterfixture", lint.MapIter)
+}
+
+func TestWallTime(t *testing.T) {
+	analysistest.Run(t, fixture("walltime"), "github.com/gpf-go/gpf/internal/cluster/walltimefixture", lint.WallTime)
+}
+
+func TestCodecErr(t *testing.T) {
+	analysistest.Run(t, fixture("codecerr"), "gpf/fixture/codecerr", lint.CodecErr)
+}
+
+func TestBufAlloc(t *testing.T) {
+	analysistest.Run(t, fixture("bufalloc"), "github.com/gpf-go/gpf/internal/compress/bufallocfixture", lint.BufAlloc)
+}
+
+// TestScopeFilters asserts that path-scoped analyzers stay quiet outside
+// their packages: the scopecheck fixture contains mapiter and walltime
+// violations but is loaded under an unrelated import path, so the whole
+// suite must produce zero diagnostics (the fixture has no want comments).
+func TestScopeFilters(t *testing.T) {
+	analysistest.Run(t, fixture("scopecheck"), "example.com/elsewhere/scopecheck", lint.Suite()...)
+}

@@ -1,0 +1,246 @@
+// Package loader type-checks Go packages for gpflint without depending on
+// golang.org/x/tools (which is unavailable in the build environment). It
+// shells out to `go list -export -deps -json` to resolve package metadata and
+// compiler export data, parses the target packages' sources, and type-checks
+// them against the export data through the standard gc importer. Only the
+// target packages are checked from source; every dependency (stdlib and
+// module-internal alike) is imported from export data, which keeps a whole
+// repo load under a second of type-checking.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package: the loader's analogue of
+// golang.org/x/tools/go/packages.Package, trimmed to what the analyzers use.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	GoFiles   []string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` for patterns in dir and returns
+// the decoded package stream.
+func goList(dir string, patterns []string) (map[string]*listPkg, []*listPkg, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, nil, err
+	}
+	byPath := make(map[string]*listPkg)
+	var order []*listPkg
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			if err == io.EOF {
+				break
+			}
+			cmd.Wait()
+			return nil, nil, fmt.Errorf("loader: decoding go list output: %w", err)
+		}
+		byPath[p.ImportPath] = p
+		order = append(order, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, nil, fmt.Errorf("loader: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return byPath, order, nil
+}
+
+// exportImporter resolves imports through the compiler export data reported
+// by go list, honoring per-package ImportMap entries (vendoring, test
+// variants). It satisfies types.ImporterFrom so the type checker can hand it
+// the importing package's context.
+type exportImporter struct {
+	byPath map[string]*listPkg
+	gc     types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, byPath map[string]*listPkg) *exportImporter {
+	ei := &exportImporter{byPath: byPath}
+	lookup := func(path string) (io.ReadCloser, error) {
+		p, ok := ei.byPath[path]
+		if !ok || p.Export == "" {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	}
+	ei.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.ImportFrom(path, "", 0)
+}
+
+func (ei *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return ei.gc.ImportFrom(path, dir, 0)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Load lists patterns in dir (a directory inside the target module), parses
+// every non-dependency match, and type-checks it against export data.
+// Test files are not loaded: gpflint checks production sources; tests are
+// exercised by `go test -race`.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	byPath, order, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, byPath)
+	var pkgs []*Package
+	for _, lp := range order {
+		if lp.DepOnly || lp.Name == "" {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		pkg, err := check(fset, imp, lp.ImportPath, lp.Dir, absFiles(lp.Dir, lp.GoFiles))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// LoadFiles parses the named Go files as one package and type-checks them,
+// resolving their imports through `go list` run in dir (so dir must sit
+// inside the module that provides the imports). pkgPath is the import path
+// recorded for the checked package; analyzers use it for scope decisions.
+func LoadFiles(dir, pkgPath string, files []string) (*Package, error) {
+	fset := token.NewFileSet()
+	var syntax []*ast.File
+	importSet := make(map[string]bool)
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+		for _, spec := range af.Imports {
+			p := strings.Trim(spec.Path.Value, `"`)
+			if p != "unsafe" {
+				importSet[p] = true
+			}
+		}
+	}
+	imports := make([]string, 0, len(importSet))
+	for p := range importSet {
+		imports = append(imports, p)
+	}
+	sort.Strings(imports)
+	byPath := make(map[string]*listPkg)
+	if len(imports) > 0 {
+		var err error
+		byPath, _, err = goList(dir, imports)
+		if err != nil {
+			return nil, err
+		}
+	}
+	imp := newExportImporter(fset, byPath)
+	pkg, err := checkFiles(fset, imp, pkgPath, dir, files, syntax)
+	if err != nil {
+		return nil, err
+	}
+	return pkg, nil
+}
+
+func absFiles(dir string, names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		if filepath.IsAbs(n) {
+			out[i] = n
+		} else {
+			out[i] = filepath.Join(dir, n)
+		}
+	}
+	return out
+}
+
+func check(fset *token.FileSet, imp types.ImporterFrom, pkgPath, dir string, files []string) (*Package, error) {
+	var syntax []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		syntax = append(syntax, af)
+	}
+	return checkFiles(fset, imp, pkgPath, dir, files, syntax)
+}
+
+func checkFiles(fset *token.FileSet, imp types.ImporterFrom, pkgPath, dir string, files []string, syntax []*ast.File) (*Package, error) {
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, fset, syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("loader: type-checking %s: %w", pkgPath, err)
+	}
+	return &Package{
+		PkgPath:   pkgPath,
+		Name:      tpkg.Name(),
+		Dir:       dir,
+		GoFiles:   files,
+		Fset:      fset,
+		Syntax:    syntax,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}

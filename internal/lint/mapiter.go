@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"github.com/gpf-go/gpf/internal/lint/analysis"
+)
+
+// MapIter flags `range` over a map whose body produces order-dependent
+// output — appending to (or accumulating into) a slice or string declared
+// outside the loop, sending on a channel, or calling a Write-style method —
+// inside internal/engine, internal/compress and internal/cluster. Go
+// randomizes map iteration order, so such a loop in a shuffle, codec or
+// replay path breaks run-to-run reproducibility: serialized partition blocks
+// differ byte-for-byte between runs, simulated replays diverge.
+//
+// Order-independent uses are allowed: accumulating into another map,
+// numeric reductions (sum += v), and the collect-keys-then-sort idiom (an
+// appended slice that is passed to a sort call later in the same function).
+var MapIter = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc: "flags map iteration feeding order-dependent output in shuffle, " +
+		"codec or replay paths (map order is randomized per run)",
+	Run: runMapIter,
+}
+
+// mapIterScopes are the package path fragments the analyzer applies to:
+// the deterministic-replay core of the system.
+var mapIterScopes = []string{"internal/engine", "internal/compress", "internal/cluster"}
+
+func inScope(path string, scopes []string) bool {
+	for _, s := range scopes {
+		if pkgPathHas(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runMapIter(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), mapIterScopes) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		f := file
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, f, rs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRangeBody(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				checkOrderedAccumulation(pass, file, rs, st, ast.Unparen(lhs))
+			}
+		case *ast.SendStmt:
+			reportNode(pass, st, "send on channel inside map iteration: receiver observes "+
+				"nondeterministic order (iterate sorted keys instead)")
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(st.Fun).(*ast.SelectorExpr); ok {
+				if strings.HasPrefix(sel.Sel.Name, "Write") || sel.Sel.Name == "writeBits" {
+					reportNode(pass, st, "%s call inside map iteration writes output in "+
+						"nondeterministic order (iterate sorted keys instead)", sel.Sel.Name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkOrderedAccumulation flags assignments inside a map-range body whose
+// target is a slice or string declared outside the loop: the accumulated
+// value depends on iteration order. Map-typed and numeric targets are
+// order-independent and allowed; a slice that is sorted after the loop
+// (collect-keys-then-sort) is allowed.
+func checkOrderedAccumulation(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, st *ast.AssignStmt, lhs ast.Expr) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj := objOf(pass.TypesInfo, id)
+	v, okVar := obj.(*types.Var)
+	if !okVar || !declaredOutside(v, rs) {
+		return
+	}
+	switch v.Type().Underlying().(type) {
+	case *types.Slice:
+	case *types.Basic:
+		if v.Type().Underlying().(*types.Basic).Info()&types.IsString == 0 {
+			return // numeric accumulation commutes
+		}
+	default:
+		return // maps and other targets are order-independent or out of scope
+	}
+	if st.Tok == token.DEFINE {
+		return
+	}
+	if sortedAfter(pass, file, rs, v) {
+		return
+	}
+	reportNode(pass, lhs, "%q accumulates in map iteration order, which is randomized per run; "+
+		"iterate sorted keys or sort %q before use", id.Name, id.Name)
+}
+
+// sortedAfter reports whether v is passed to a sort-like call after the
+// range statement within the same enclosing function — the sanctioned
+// collect-keys-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, file *ast.File, rs *ast.RangeStmt, v *types.Var) bool {
+	body := enclosingFuncBody(file, rs)
+	if body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		name := ""
+		switch fn := ast.Unparen(call.Fun).(type) {
+		case *ast.SelectorExpr:
+			name = fn.Sel.Name
+			// sort.Strings, sort.Ints, slices.Sort...: the package qualifier
+			// marks the call as a sort even when the function name doesn't.
+			if q, ok := ast.Unparen(fn.X).(*ast.Ident); ok {
+				if _, isPkg := objOf(pass.TypesInfo, q).(*types.PkgName); isPkg && (q.Name == "sort" || q.Name == "slices") {
+					name = "Sort"
+				}
+			}
+		case *ast.Ident:
+			name = fn.Name
+		}
+		if !strings.Contains(name, "Sort") && !strings.Contains(name, "sort") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(ast.Unparen(arg)); root != nil && objOf(pass.TypesInfo, root) == v {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

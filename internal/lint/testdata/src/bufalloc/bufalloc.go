@@ -1,0 +1,57 @@
+// Fixture for gpflint/bufalloc: fresh bytes.Buffer allocations in codec hot
+// paths. Loaded under a package path inside internal/compress so the scope
+// filter applies; only functions whose names mark serializer hot paths
+// (Marshal/Unmarshal/Encode/Decode/...) are checked.
+package bufalloc
+
+import (
+	"bytes"
+	"encoding/gob"
+
+	"github.com/gpf-go/gpf/internal/bufpool"
+)
+
+type codec struct{}
+
+func (codec) Marshal(items []int) ([]byte, error) {
+	var buf bytes.Buffer // want "var declaration allocates a fresh bytes.Buffer in a codec hot path"
+	if err := gob.NewEncoder(&buf).Encode(items); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func EncodeStaged(items []int) ([]byte, error) {
+	buf := new(bytes.Buffer) // want `new\(bytes.Buffer\) allocates a fresh bytes.Buffer`
+	spare := &bytes.Buffer{} // want "composite literal allocates a fresh bytes.Buffer"
+	wrapped := bytes.NewBuffer(nil) // want "bytes.NewBuffer allocates a fresh bytes.Buffer"
+	_ = spare
+	_ = wrapped
+	if err := gob.NewEncoder(buf).Encode(items); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodePooled is the sanctioned pattern.
+func EncodePooled(items []int) ([]byte, error) {
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
+	if err := gob.NewEncoder(buf).Encode(items); err != nil {
+		return nil, err
+	}
+	return bufpool.Bytes(buf), nil
+}
+
+// helper is not a hot-path function name: staging buffers are allowed.
+func helper() *bytes.Buffer {
+	return bytes.NewBuffer(nil)
+}
+
+// DecodeSuppressed documents a justified retention: the buffer escapes to
+// the caller, so pooling would corrupt it.
+func DecodeSuppressed(data []byte) *bytes.Buffer {
+	//lint:ignore gpflint/bufalloc buffer ownership transfers to the caller
+	out := bytes.NewBuffer(data)
+	return out
+}

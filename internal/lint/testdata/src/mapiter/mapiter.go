@@ -1,0 +1,66 @@
+// Fixture for gpflint/mapiter: map iteration feeding order-dependent output
+// in the engine/codec/simulator packages. Loaded under a package path inside
+// internal/engine so the scope filter applies.
+package mapiter
+
+import (
+	"sort"
+	"strings"
+)
+
+func positives(m map[string]int, ch chan string, sb *strings.Builder) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "\"out\" accumulates in map iteration order"
+	}
+
+	line := ""
+	for k := range m {
+		line += k // want "\"line\" accumulates in map iteration order"
+	}
+
+	for k := range m {
+		ch <- k // want "send on channel inside map iteration"
+	}
+
+	for k := range m {
+		sb.WriteString(k) // want "WriteString call inside map iteration"
+	}
+	return out
+}
+
+func negatives(m map[string]int) ([]string, int, map[string]int) {
+	// Collect-keys-then-sort is the sanctioned determinization idiom.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Numeric reduction commutes.
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+
+	// Map-to-map accumulation is order-independent.
+	copied := map[string]int{}
+	for k, v := range m {
+		copied[k] = v
+	}
+
+	// Ranging over a slice is always ordered.
+	var ordered []string
+	for _, k := range keys {
+		ordered = append(ordered, k)
+	}
+
+	// Suppression with a reason.
+	var unsorted []string
+	for k := range m {
+		//lint:ignore gpflint/mapiter fixture exercises the suppression path
+		unsorted = append(unsorted, k)
+	}
+	_ = unsorted
+	return ordered, sum, copied
+}

@@ -1,0 +1,14 @@
+// Fixture asserting the scope filters: the same patterns that mapiter and
+// walltime flag inside engine/compress/cluster are ignored when the package
+// lives elsewhere (this fixture is loaded under an unrelated import path).
+package scopecheck
+
+import "time"
+
+func outsideScope(m map[string]int) ([]string, time.Time) {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out, time.Now()
+}

@@ -1,0 +1,39 @@
+// Fixture for gpflint/walltime: wall-clock reads and ambient randomness in
+// the discrete-event simulator. Loaded under a package path inside
+// internal/cluster so the scope filter applies.
+package walltime
+
+import (
+	"math/rand"
+	"time"
+)
+
+func positives() time.Duration {
+	start := time.Now() // want "time.Now reads the wall clock inside the simulator"
+	time.Sleep(time.Millisecond)   // want "time.Sleep reads the wall clock"
+	elapsed := time.Since(start)   // want "time.Since reads the wall clock"
+	jitter := rand.Intn(10)        // want "rand.Intn draws from the global math/rand source"
+	shuffleSkew := rand.Float64()  // want "rand.Float64 draws from the global math/rand source"
+	_ = jitter
+	_ = shuffleSkew
+	return elapsed
+}
+
+func negatives(seed int64, events []time.Duration) time.Duration {
+	// A seeded generator is the sanctioned randomness source: the
+	// constructors are package-level but do not draw from the global source.
+	rng := rand.New(rand.NewSource(seed))
+	skew := time.Duration(rng.Int63n(int64(time.Millisecond)))
+
+	// Simulated-clock arithmetic never touches the wall clock.
+	var clock time.Duration
+	for _, e := range events {
+		clock += e
+	}
+
+	// Suppression with a reason.
+	//lint:ignore gpflint/walltime fixture exercises the suppression path
+	wall := time.Now()
+	_ = wall
+	return clock + skew
+}

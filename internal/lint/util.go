@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/gpf-go/gpf/internal/lint/analysis"
+)
+
+// pkgPathHas reports whether an import path contains the given element
+// sequence (e.g. "internal/engine"), either as the whole path (fixture
+// loads) or bounded by separators inside it.
+func pkgPathHas(path, elems string) bool {
+	if path == elems || strings.HasSuffix(path, "/"+elems) {
+		return true
+	}
+	return strings.Contains(path, "/"+elems+"/") || strings.HasPrefix(path, elems+"/")
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for builtins,
+// conversions and indirect calls through function values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	case *ast.IndexExpr: // explicit generic instantiation f[T](...)
+		return calleeFunc(info, &ast.CallExpr{Fun: fn.X})
+	case *ast.IndexListExpr:
+		return calleeFunc(info, &ast.CallExpr{Fun: fn.X})
+	default:
+		return nil
+	}
+	f, _ := info.Uses[id].(*types.Func)
+	return f
+}
+
+// rootIdent returns the identifier at the base of an lvalue expression:
+// x, x.f, x[i], *x, x.f[i].g all root at x. Returns nil for other shapes
+// (function calls, parenthesized composites, ...).
+func rootIdent(expr ast.Expr) *ast.Ident {
+	for {
+		switch e := expr.(type) {
+		case *ast.Ident:
+			return e
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf returns the object an identifier denotes, following both uses and
+// defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// declaredOutside reports whether obj is declared outside the [lo, hi) node
+// span — i.e. captured by a function literal spanning it. Package-level
+// variables count as outside.
+func declaredOutside(obj types.Object, node ast.Node) bool {
+	if obj == nil || obj.Pos() == 0 {
+		return false
+	}
+	return obj.Pos() < node.Pos() || obj.Pos() >= node.End()
+}
+
+// isNamed reports whether t (or its pointer elem) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// lastResultIsError reports whether the function's final result is error.
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.Identical(res.At(res.Len()-1).Type(), types.Universe.Lookup("error").Type())
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal in file that contains pos, or nil.
+func enclosingFuncBody(file *ast.File, node ast.Node) *ast.BlockStmt {
+	var body *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > node.Pos() || n.End() < node.End() {
+			return false // n does not contain node: prune
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				body = fn.Body
+			}
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		return true
+	})
+	return body
+}
+
+// reportNode is shorthand for Reportf at a node's position.
+func reportNode(pass *analysis.Pass, n ast.Node, format string, args ...any) {
+	pass.Reportf(n.Pos(), format, args...)
+}

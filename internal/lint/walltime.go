@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"github.com/gpf-go/gpf/internal/lint/analysis"
+)
+
+// WallTime flags wall-clock reads (time.Now, time.Since, timers) and global
+// math/rand draws inside internal/cluster. The cluster package is a
+// discrete-event simulator replaying recorded traces: all time must advance
+// on the simulated clock and all randomness must come from an explicitly
+// seeded *rand.Rand, or replays stop being reproducible. Durations and time
+// arithmetic are fine; only sources of real time or ambient randomness are
+// flagged. Methods on a *rand.Rand value are allowed — the caller controls
+// its seed.
+var WallTime = &analysis.Analyzer{
+	Name: "walltime",
+	Doc: "flags wall-clock reads and unseeded math/rand use in the " +
+		"discrete-event simulator (replays must be deterministic)",
+	Run: runWallTime,
+}
+
+var wallTimeScopes = []string{"internal/cluster"}
+
+// wallClockFuncs are the package-level time functions that observe or
+// depend on real time.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+func runWallTime(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path(), wallTimeScopes) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		sig, _ := fn.Type().(*types.Signature)
+		switch fn.Pkg().Path() {
+		case "time":
+			if wallClockFuncs[fn.Name()] {
+				reportNode(pass, call, "time.%s reads the wall clock inside the simulator; "+
+					"advance the simulated clock instead", fn.Name())
+			}
+		case "math/rand", "math/rand/v2":
+			// Package-level functions draw from the shared global source;
+			// methods on *rand.Rand (sig.Recv() != nil) are seeded by the
+			// caller and allowed, as are the constructors (rand.New,
+			// rand.NewSource, ...) that build a seeded generator.
+			if sig != nil && sig.Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
+				reportNode(pass, call, "%s.%s draws from the global math/rand source inside the "+
+					"simulator; use an explicitly seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+			}
+		}
+		return true
+	})
+	return nil
+}
