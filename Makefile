@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint check clean
+.PHONY: all build test race vet lint check bench-json clean
 
 all: build
 
@@ -24,6 +24,12 @@ lint:
 	$(GO) run ./cmd/gpflint ./...
 
 check: build vet lint test
+
+# bench-json emits the shuffle benchmarks (WGS ablation + I/O-model micro)
+# as machine-readable test2json events for the experiment archive (see
+# EXPERIMENTS.md).
+bench-json:
+	$(GO) test -json -run '^$$' -bench 'BenchmarkAblationPipelinedShuffle|BenchmarkShuffleMicro' -benchtime 3x . > BENCH_5.json
 
 clean:
 	$(GO) clean ./...

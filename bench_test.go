@@ -9,7 +9,12 @@
 package gpf_bench
 
 import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
 	"testing"
+	"time"
 
 	"github.com/gpf-go/gpf/internal/baseline"
 	"github.com/gpf-go/gpf/internal/cluster"
@@ -150,13 +155,24 @@ func BenchmarkTable5(b *testing.B) {
 
 func ablate(b *testing.B, opts baseline.WGSOptions) (makespanMin float64, shuffleGB float64) {
 	b.Helper()
+	run, makespanMin, shuffleGB := ablateRun(b, opts, scale().Workers)
+	_ = run
+	return makespanMin, shuffleGB
+}
+
+// ablateRun is ablate with a worker-count override (the pipelined-shuffle
+// ablation needs real concurrency: at Workers=1 map and reduce tasks cannot
+// overlap, so FetchWait and PipelineOverlap degenerate to zero) and with the
+// raw run returned so callers can report engine-level metrics.
+func ablateRun(b *testing.B, opts baseline.WGSOptions, workers int) (*baseline.WGSRun, float64, float64) {
+	b.Helper()
 	s := scale()
 	d := workload.Make(func() workload.Profile {
 		p := workload.DefaultProfile(workload.WGS, s.GenomeLen)
 		p.Coverage = s.Coverage
 		return p
 	}(), s.Seed)
-	rt := core.NewRuntime(engine.NewContext(s.Workers), d.Ref)
+	rt := core.NewRuntime(engine.NewContext(workers), d.Ref)
 	rt.PartitionLen = s.PartitionLen
 	rt.NumPartitions = s.NumPartitions
 	rt.Known = d.Known
@@ -168,7 +184,19 @@ func ablate(b *testing.B, opts baseline.WGSOptions) (makespanMin float64, shuffl
 	byteScale := experiments.PaperFASTQBytes / float64(d.FASTQBytes())
 	tr := cluster.TraceFromMetrics(run.Metrics, cpuScale, byteScale).SplitTasks(256)
 	sim := cluster.Simulate(tr, cluster.PaperCluster(), 2048, cluster.SparkOptions())
-	return sim.Makespan.Minutes(), float64(run.Metrics.TotalShuffleBytes()) * byteScale / 1e9
+	return run, sim.Makespan.Minutes(), float64(run.Metrics.TotalShuffleBytes()) * byteScale / 1e9
+}
+
+// censusWriteBytes sums shuffle-write bytes over the census stages — the
+// quantity the map-side-combine rewrite shrinks.
+func censusWriteBytes(m engine.Metrics) int64 {
+	var n int64
+	for _, s := range m.Stages {
+		if strings.Contains(s.Name, "/census") {
+			n += s.ShuffleWriteBytes()
+		}
+	}
+	return n
 }
 
 // BenchmarkAblationCodecTier compares the three serializer tiers end to end:
@@ -202,6 +230,138 @@ func BenchmarkAblationFusion(b *testing.B) {
 				mk, gb := ablate(b, opts)
 				b.ReportMetric(mk, "sim-2048-min")
 				b.ReportMetric(gb, "shuffle-GB")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPipelinedShuffle flips the push-based shuffle against the
+// classic two-barrier execution on the WGS workload, and additionally flips
+// map-side combine to expose the census byte reduction. Wall time per run is
+// the benchmark's own ns/op; the extra metrics report the engine's pipeline
+// accounting (FetchWait > 0 and PipelineOverlap > 0 only in pipelined mode)
+// and the census shuffle-write volume.
+func BenchmarkAblationPipelinedShuffle(b *testing.B) {
+	// SmallScale pins Workers to 1 for reproducibility of CPU accounting; the
+	// shuffle ablation is about overlap, so it needs a real worker pool.
+	const workers = 4
+	for _, cfg := range []struct {
+		name string
+		mut  func(*baseline.WGSOptions)
+	}{
+		{"pipelined", func(*baseline.WGSOptions) {}},
+		{"barrier", func(o *baseline.WGSOptions) { o.BarrierShuffle = true }},
+		{"no-combine", func(o *baseline.WGSOptions) { o.NoMapSideCombine = true }},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := baseline.GPFOptions()
+				cfg.mut(&opts)
+				run, mk, gb := ablateRun(b, opts, workers)
+				b.ReportMetric(mk, "sim-2048-min")
+				b.ReportMetric(gb, "shuffle-GB")
+				b.ReportMetric(float64(run.Metrics.TotalFetchWait().Milliseconds()), "fetchwait-ms")
+				b.ReportMetric(float64(run.Metrics.TotalPipelineOverlap().Milliseconds()), "overlap-ms")
+				b.ReportMetric(float64(censusWriteBytes(run.Metrics))/1e3, "census-KB")
+			}
+		})
+	}
+}
+
+// blockIOCodec is a string codec charging a size-proportional latency on
+// both sides, modeling the disk/network transfer a shuffle block pays in a
+// real deployment (Spark's shuffle always spills serialized blocks; see
+// cluster.SparkOptions — perByte here plays the shared-FS bandwidth of
+// Table 1). The latency is time.Sleep, not CPU, so it exposes exactly what
+// push-based pipelining buys: work scheduled into wait time.
+type blockIOCodec struct{ perByte time.Duration }
+
+func (blockIOCodec) Name() string { return "block-io" }
+
+func (c blockIOCodec) Marshal(items []string) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, s := range items {
+		fmt.Fprintf(&buf, "%d:", len(s))
+		buf.WriteString(s)
+	}
+	time.Sleep(time.Duration(buf.Len()) * c.perByte)
+	return buf.Bytes(), nil
+}
+
+func (c blockIOCodec) Unmarshal(block []byte) ([]string, error) {
+	time.Sleep(time.Duration(len(block)) * c.perByte)
+	var out []string
+	for len(block) > 0 {
+		sep := bytes.IndexByte(block, ':')
+		if sep < 0 {
+			return nil, fmt.Errorf("block-io: missing length separator")
+		}
+		n, err := strconv.Atoi(string(block[:sep]))
+		if err != nil || len(block) < sep+1+n {
+			return nil, fmt.Errorf("block-io: corrupt frame")
+		}
+		out = append(out, string(block[sep+1:sep+1+n]))
+		block = block[sep+1+n:]
+	}
+	return out, nil
+}
+
+// BenchmarkShuffleMicro isolates the shuffle itself (the WGS ablation above
+// is dominated by aligner CPU, burying the shuffle delta in run noise): a
+// skewed dataset — one straggler map partition holding as much data as all
+// the others combined — shuffled through a codec that charges a per-block
+// I/O latency. Under the barrier, every worker idles until the straggler map
+// finishes and reduce-side block fetches all queue after it; the pipelined
+// execution decodes the already-pushed buckets during the straggler's
+// in-flight blocks, so the fetch latency is hidden under map execution.
+func BenchmarkShuffleMicro(b *testing.B) {
+	const (
+		workers    = 4
+		small      = 7
+		perSmall   = 400
+		stragglerX = 10
+		reduces    = 8
+	)
+	parts := make([][]string, small+1)
+	next := 0
+	fill := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = strings.Repeat("r", 200) + strconv.Itoa(next)
+			next++
+		}
+		return out
+	}
+	for i := 0; i < small; i++ {
+		parts[i] = fill(perSmall)
+	}
+	parts[small] = fill(stragglerX * perSmall)
+	route := func(v string) int {
+		h := 0
+		for i := 0; i < len(v); i++ {
+			h = h*31 + int(v[i])
+		}
+		return h
+	}
+	for _, barrier := range []bool{false, true} {
+		name := "pipelined"
+		if barrier {
+			name = "barrier"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx := engine.NewContext(workers)
+				ctx.DisablePipelinedShuffle = barrier
+				d := engine.WithCodec(engine.FromPartitions(ctx, parts), blockIOCodec{perByte: 120 * time.Nanosecond})
+				out, err := engine.PartitionBy("micro", d, reduces, route)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if n, err := engine.Count("n", out); err != nil || n != (small+stragglerX)*perSmall {
+					b.Fatalf("count %d err %v", n, err)
+				}
+				b.ReportMetric(float64(ctx.Metrics().TotalFetchWait().Milliseconds()), "fetchwait-ms")
+				b.ReportMetric(float64(ctx.Metrics().TotalPipelineOverlap().Milliseconds()), "overlap-ms")
 			}
 		})
 	}

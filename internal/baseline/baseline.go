@@ -57,6 +57,12 @@ type WGSOptions struct {
 	// FileHandoff charges per-stage intermediate file I/O (Churchill-style
 	// workflow managers spill between tools).
 	FileHandoff bool
+	// BarrierShuffle disables the pipelined push-based shuffle, restoring
+	// the global map barrier (the pipelined-shuffle ablation).
+	BarrierShuffle bool
+	// NoMapSideCombine disables pre-aggregation in the census and other
+	// combine-based ops (the map-side-combine ablation).
+	NoMapSideCombine bool
 }
 
 // GPFOptions is the paper's system: dynamic repartition, fusion, genomic
@@ -81,6 +87,8 @@ type WGSRun struct {
 // engine metrics (the raw material for trace replay at cluster scale).
 func RunWGS(rt *core.Runtime, pairs []fastq.Pair, opts WGSOptions) (*WGSRun, error) {
 	rt.Codec = opts.Codec
+	rt.Engine.DisablePipelinedShuffle = opts.BarrierShuffle
+	rt.Engine.DisableMapSideCombine = opts.NoMapSideCombine
 	if !opts.DynamicRepartition {
 		// Disable splitting: the threshold can never be exceeded.
 		rt.SplitThresholdFactor = 1e18

@@ -151,24 +151,49 @@ func (p *ReadRepartitionerProcess) Run(rt *Runtime) error {
 	if err != nil {
 		return err
 	}
-	// Census: reads per base partition, reduced to the driver.
+	// Census: reads per base partition. Runs as a map-side-combined
+	// ReduceByKey over the compact keyed-varint codec, so each map task ships
+	// one (partition, count) pair per locally observed base partition instead
+	// of a whole per-partition map serially merged on the driver — the
+	// combine path that makes the census shuffle bytes drop (and the driver
+	// merge below only folds already-disjoint reduce outputs).
 	counts := map[int]int{}
+	baseID := func(r sam.Record) int {
+		if r.RefID < 0 {
+			return 0
+		}
+		return info.BaseID(int(r.RefID), int(r.Pos))
+	}
 	for _, in := range p.ins {
 		flat, err := in.EnsureFlat(rt)
 		if err != nil {
 			return err
 		}
-		c, err := engine.CountByKey(p.name+"/census", flat, func(r sam.Record) int {
-			if r.RefID < 0 {
-				return 0
+		if rt.Engine.DisableMapSideCombine {
+			// No-combine ablation: the legacy census, whole per-partition
+			// count maps shipped to a serial driver merge.
+			c, err := engine.CountByKey(p.name+"/census", flat, baseID)
+			if err != nil {
+				return err
 			}
-			return info.BaseID(int(r.RefID), int(r.Pos))
-		})
+			for k, v := range c {
+				counts[k] += v
+			}
+			continue
+		}
+		pairs, err := engine.ReduceByKey(p.name+"/census", flat, flat.NumPartitions(), baseID,
+			func(sam.Record) int { return 1 },
+			func(a, b int) int { return a + b },
+			engine.KeyedIntCodec{})
 		if err != nil {
 			return err
 		}
-		for k, v := range c {
-			counts[k] += v
+		kvs, err := engine.Collect(p.name+"/census-collect", pairs)
+		if err != nil {
+			return err
+		}
+		for _, kv := range kvs {
+			counts[kv.Key] += kv.Val
 		}
 	}
 	// Threshold: factor × the median reads per non-empty partition. The

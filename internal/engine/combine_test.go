@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func countReference(items []int, key func(int) int) map[int]int {
+	out := map[int]int{}
+	for _, it := range items {
+		out[key(it)]++
+	}
+	return out
+}
+
+func TestReduceByKeyAggregates(t *testing.T) {
+	ctx := NewContext(4)
+	items := intRange(1000)
+	key := func(x int) int { return x % 37 }
+	d := Parallelize(ctx, items, 8)
+	pairs, err := ReduceByKey("rbk", d, 8, key,
+		func(int) int { return 1 },
+		func(a, b int) int { return a + b },
+		KeyedIntCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := Collect("c", pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]int{}
+	for _, kv := range kvs {
+		got[kv.Key] += kv.Val
+	}
+	if !reflect.DeepEqual(got, countReference(items, key)) {
+		t.Fatalf("ReduceByKey counts differ: %v", got)
+	}
+	// Each output partition must hold its keys sorted and disjoint.
+	seen := map[int]bool{}
+	for p := 0; p < pairs.NumPartitions(); p++ {
+		part, err := pairs.partition(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sort.SliceIsSorted(part, func(i, j int) bool { return part[i].Key < part[j].Key }) {
+			t.Fatalf("partition %d keys not sorted", p)
+		}
+		for _, kv := range part {
+			if seen[kv.Key] {
+				t.Fatalf("key %d appears in two partitions", kv.Key)
+			}
+			seen[kv.Key] = true
+		}
+	}
+}
+
+func TestCombineByKeyMatchesNoCombine(t *testing.T) {
+	items := intRange(600)
+	key := func(x int) int { return x % 21 }
+	run := func(disable bool) []Keyed[int] {
+		ctx := NewContext(3)
+		ctx.DisableMapSideCombine = disable
+		d := Parallelize(ctx, items, 5)
+		pairs, err := CombineByKey("cbk", d, 4, key,
+			func(int) int { return 1 },
+			func(c, _ int) int { return c + 1 },
+			func(a, b int) int { return a + b },
+			nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kvs, err := Collect("c", pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return kvs
+	}
+	combined, uncombined := run(false), run(true)
+	if !reflect.DeepEqual(combined, uncombined) {
+		t.Fatalf("combine ablation changed output:\n%v\n%v", combined, uncombined)
+	}
+}
+
+// TestCountByKeyCombineShipsFewerBytes is the byte-accounting claim behind
+// the census rewrite: the combined ReduceByKey census must record strictly
+// fewer shuffle-write bytes than the legacy serial-merge CountByKey, while
+// producing identical counts.
+func TestCountByKeyCombineShipsFewerBytes(t *testing.T) {
+	items := intRange(4000)
+	key := func(x int) int { return x % 8 }
+	run := func(disable bool) (map[int]int, int64) {
+		ctx := NewContext(4)
+		ctx.DisableMapSideCombine = disable
+		d := Parallelize(ctx, items, 8)
+		counts, err := CountByKey("census", d, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wr int64
+		for _, s := range ctx.Metrics().Stages {
+			wr += s.ShuffleWriteBytes()
+		}
+		return counts, wr
+	}
+	combined, combinedBytes := run(false)
+	legacy, legacyBytes := run(true)
+	if !reflect.DeepEqual(combined, legacy) {
+		t.Fatalf("counts differ: %v vs %v", combined, legacy)
+	}
+	if !reflect.DeepEqual(combined, countReference(items, key)) {
+		t.Fatal("counts wrong")
+	}
+	if legacyBytes == 0 {
+		t.Fatal("legacy census shipped no accounted bytes")
+	}
+	if combinedBytes >= legacyBytes {
+		t.Fatalf("combined census must ship strictly fewer bytes: combined=%d legacy=%d",
+			combinedBytes, legacyBytes)
+	}
+}
+
+func TestCountByKeyPipelinedMatchesBarrier(t *testing.T) {
+	items := intRange(900)
+	key := func(x int) int { return x % 13 }
+	run := func(barrier bool) map[int]int {
+		ctx := NewContext(4)
+		ctx.DisablePipelinedShuffle = barrier
+		counts, err := CountByKey("census", Parallelize(ctx, items, 6), key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return counts
+	}
+	if !reflect.DeepEqual(run(false), run(true)) {
+		t.Fatal("pipelined and barrier CountByKey disagree")
+	}
+}
+
+func TestKeyedIntCodecRoundTrip(t *testing.T) {
+	f := func(keys []int32, vals []int32) bool {
+		n := len(keys)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		pairs := make([]Keyed[int], n)
+		for i := 0; i < n; i++ {
+			pairs[i] = Keyed[int]{Key: int(keys[i]), Val: int(vals[i])}
+		}
+		block, err := KeyedIntCodec{}.Marshal(pairs)
+		if err != nil {
+			return false
+		}
+		got, err := KeyedIntCodec{}.Unmarshal(block)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(pairs) {
+			return false
+		}
+		for i := range got {
+			if got[i] != pairs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyedIntCodecRejectsGarbage(t *testing.T) {
+	if _, err := (KeyedIntCodec{}).Unmarshal(nil); err == nil {
+		t.Fatal("nil block must not decode")
+	}
+	if _, err := (KeyedIntCodec{}).Unmarshal([]byte{0x05, 0x02}); err == nil {
+		t.Fatal("truncated block must not decode")
+	}
+}
+
+// TestKeyedIntCodecCompact: sorted census-shaped pairs must encode well
+// under gob's per-entry framing — the structural reason the combined census
+// wins bytes.
+func TestKeyedIntCodecCompact(t *testing.T) {
+	pairs := make([]Keyed[int], 50)
+	for i := range pairs {
+		pairs[i] = Keyed[int]{Key: i, Val: 100 + i}
+	}
+	compact, err := KeyedIntCodec{}.Marshal(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fat, err := gobSerializer[Keyed[int]]{}.Marshal(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(compact) >= len(fat) {
+		t.Fatalf("keyed-varint (%dB) not smaller than gob (%dB)", len(compact), len(fat))
+	}
+}

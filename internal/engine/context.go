@@ -15,16 +15,21 @@
 // length. Context.DisableFusion switches back to eager one-stage-per-op
 // execution (the Spark-without-fusion ablation).
 //
-// Wide operations move data through a hash shuffle whose byte volume is
-// charged through a pluggable serializer; actions return data to the driver.
-// Per-task and per-stage metrics (wall time, shuffle bytes, serialization
-// time, GC pauses) feed the cluster simulator and the blocked-time analysis
-// of §5.3.
+// Wide operations move data through a pipelined push-based hash shuffle
+// (see shuffle.go): map and reduce tasks share one worker-pool pass, each
+// reduce task consuming bucket (m, r) as soon as map task m publishes it,
+// with output kept deterministic by merging buckets in map-task order.
+// Context.DisablePipelinedShuffle restores the two-barrier shuffle for the
+// ablation. Shuffle byte volume is charged through a pluggable serializer;
+// actions return data to the driver. Per-task and per-stage metrics (wall
+// time, shuffle bytes, serialization time, fetch wait, GC pauses) feed the
+// cluster simulator and the blocked-time analysis of §5.3.
 package engine
 
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -53,6 +58,18 @@ type Context struct {
 	// StoreSerialized, its own codec round-trip). Used as the unfused
 	// baseline in the fusion ablation; off (fusion on) by default.
 	DisableFusion bool
+
+	// DisablePipelinedShuffle restores the two-barrier hash shuffle: every
+	// map task finishes bucketing and serializing before any reduce task
+	// starts. Used as the barrier baseline in the pipelined-shuffle ablation
+	// (see BenchmarkAblationPipelinedShuffle); off (pipelined) by default.
+	DisablePipelinedShuffle bool
+
+	// DisableMapSideCombine turns off pre-aggregation in CombineByKey (every
+	// item is shipped as its own pair) and routes CountByKey through the
+	// legacy serial driver merge that ships whole per-partition gob maps.
+	// Used as the no-combine baseline; off (combine on) by default.
+	DisableMapSideCombine bool
 
 	mu      sync.Mutex
 	metrics Metrics
@@ -96,11 +113,41 @@ func (c *Context) recordStage(s StageMetrics) {
 // pool, collecting per-task metrics. The first error (or recovered panic)
 // aborts the run and is returned.
 func (c *Context) runTasks(n int, fn func(task int, tm *TaskMetrics) error) ([]TaskMetrics, error) {
+	return c.runTasksLPT(n, nil, fn)
+}
+
+// lptOrder returns the dispatch order for n tasks under longest-processing-
+// time-first scheduling: indices sorted by descending size hint, stable so
+// equal-sized tasks keep index order (deterministic dispatch). A nil hint
+// yields plain index order.
+func lptOrder(n int, hint func(task int) int64) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if hint == nil {
+		return order
+	}
+	sizes := make([]int64, n)
+	for i := range sizes {
+		sizes[i] = hint(i)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sizes[order[a]] > sizes[order[b]] })
+	return order
+}
+
+// runTasksLPT is runTasks with size-aware dispatch: tasks are handed to the
+// worker pool largest-first per hint (LPT scheduling), shrinking the
+// straggler tail on skewed partitions — the engine-level counterpart of the
+// coverage-skew motivation behind dynamic repartitioning (§4.4). Only the
+// dispatch order changes: results and metrics stay indexed by task, so the
+// output is identical whatever the hints say.
+func (c *Context) runTasksLPT(n int, hint func(task int) int64, fn func(task int, tm *TaskMetrics) error) ([]TaskMetrics, error) {
 	tms := make([]TaskMetrics, n)
 	errs := make([]error, n)
 	sem := make(chan struct{}, c.workers)
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for _, i := range lptOrder(n, hint) {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(task int) {

@@ -4,7 +4,6 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
-	"runtime"
 	"time"
 
 	"github.com/gpf-go/gpf/internal/bufpool"
@@ -22,7 +21,13 @@ type Dataset[T any] struct {
 	parts  [][]T
 	blocks [][]byte
 	codec  Serializer[T]
-	plan   *lineage[T]
+	// blockCodec is the serializer that actually encoded blocks. It is fixed
+	// at block-allocation time and survives WithCodec, so a dataset whose
+	// codec was swapped after materialization still decodes its stored bytes
+	// with the codec that wrote them (the new codec only applies to outputs
+	// derived from this dataset).
+	blockCodec Serializer[T]
+	plan       *lineage[T]
 }
 
 // gobSerializer is the built-in generic fallback codec, standing in for Java
@@ -77,10 +82,15 @@ func FromPartitions[T any](ctx *Context, parts [][]T) *Dataset[T] {
 
 // WithCodec attaches a serializer to the dataset; subsequent stage outputs
 // are stored serialized when ctx.StoreSerialized is set, and shuffles use the
-// codec for byte accounting. On a lazy dataset the pending plan is forked so
-// each codec variant forces and materializes independently.
+// codec for byte accounting. Already-encoded blocks keep decoding with the
+// codec that wrote them (blockCodec), so swapping codecs never reinterprets
+// old bytes. On a lazy dataset the pending plan is forked so each codec
+// variant forces and materializes independently.
 func WithCodec[T any](d *Dataset[T], codec Serializer[T]) *Dataset[T] {
 	res := &Dataset[T]{ctx: d.ctx, parts: d.parts, blocks: d.blocks, codec: codec}
+	if d.blocks != nil {
+		res.blockCodec = d.decodeCodec()
+	}
 	if d.isLazy() {
 		res.plan = d.plan.fork()
 	}
@@ -113,6 +123,16 @@ func (d *Dataset[T]) effectiveCodec() Serializer[T] {
 	return gobSerializer[T]{}
 }
 
+// decodeCodec returns the serializer to decode stored blocks with: the codec
+// that encoded them when recorded, the effective codec otherwise (pre-fix
+// datasets and zero values).
+func (d *Dataset[T]) decodeCodec() Serializer[T] {
+	if d.blockCodec != nil {
+		return d.blockCodec
+	}
+	return d.effectiveCodec()
+}
+
 // partition materializes partition p, decoding when stored serialized, and
 // charges codec time to tm when non-nil. On a lazy dataset the partition is
 // computed through the fused chain closure (downstream lineages read their
@@ -128,7 +148,7 @@ func (d *Dataset[T]) partition(p int, tm *TaskMetrics) ([]T, error) {
 	}
 	if d.blocks != nil {
 		start := time.Now()
-		items, err := d.effectiveCodec().Unmarshal(d.blocks[p])
+		items, err := d.decodeCodec().Unmarshal(d.blocks[p])
 		if err != nil {
 			return nil, fmt.Errorf("engine: decode partition %d: %w", p, err)
 		}
@@ -165,6 +185,7 @@ func newResult[T any](ctx *Context, codec Serializer[T], n int) *Dataset[T] {
 	res := &Dataset[T]{ctx: ctx, codec: codec}
 	if ctx.StoreSerialized && codec != nil {
 		res.blocks = make([][]byte, n)
+		res.blockCodec = codec
 	} else {
 		res.parts = make([][]T, n)
 	}
@@ -182,11 +203,26 @@ func (d *Dataset[T]) MemoryBytes() int64 {
 	return n
 }
 
-// gcPauseDelta measures GC pause time across fn.
-func gcPauseDelta(fn func() error) (time.Duration, error) {
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	err := fn()
-	runtime.ReadMemStats(&after)
-	return time.Duration(after.PauseTotalNs - before.PauseTotalNs), err
+// partitionSizeHint estimates the relative cost of processing partition p for
+// LPT dispatch: serialized block length when stored serialized, item count
+// otherwise. On a lazy dataset it asks the plan (which forwards to the root
+// of the fused chain). Hints order dispatch only — a bad hint costs schedule
+// quality, never correctness.
+func (d *Dataset[T]) partitionSizeHint(p int) int64 {
+	if d.isLazy() {
+		if d.plan.sizeHint != nil {
+			return d.plan.sizeHint(p)
+		}
+		return 0
+	}
+	if d.blocks != nil {
+		if p < len(d.blocks) {
+			return int64(len(d.blocks[p]))
+		}
+		return 0
+	}
+	if p < len(d.parts) {
+		return int64(len(d.parts[p]))
+	}
+	return 0
 }

@@ -1,0 +1,74 @@
+package engine
+
+import (
+	"math"
+	"runtime/metrics"
+	"time"
+)
+
+// gcPauseMetric is the runtime/metrics histogram of stop-the-world GC pause
+// latencies. Resolved once at init: newer runtimes publish the pause
+// distribution under /sched/pauses/total/gc, older ones under /gc/pauses.
+// Empty when neither exists (delta then reads as zero).
+var gcPauseMetric = func() string {
+	for _, name := range []string{"/sched/pauses/total/gc:seconds", "/gc/pauses:seconds"} {
+		s := []metrics.Sample{{Name: name}}
+		metrics.Read(s)
+		if s[0].Value.Kind() == metrics.KindFloat64Histogram {
+			return name
+		}
+	}
+	return ""
+}()
+
+// readGCPauseHist samples the GC pause histogram. Unlike the former
+// runtime.ReadMemStats implementation this does not itself stop the world,
+// so bracketing every stage with it is cheap.
+func readGCPauseHist() *metrics.Float64Histogram {
+	if gcPauseMetric == "" {
+		return nil
+	}
+	s := []metrics.Sample{{Name: gcPauseMetric}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return nil
+	}
+	return s[0].Value.Float64Histogram()
+}
+
+// gcPauseHistDelta estimates total pause time accrued between two samples of
+// the pause histogram: for each bucket, the count delta times the bucket
+// midpoint. Bucket boundaries are fixed per metric, so the two samples align
+// index-for-index.
+func gcPauseHistDelta(before, after *metrics.Float64Histogram) time.Duration {
+	if before == nil || after == nil || len(after.Counts) != len(before.Counts) {
+		return 0
+	}
+	var seconds float64
+	for i, c := range after.Counts {
+		delta := c - before.Counts[i]
+		if delta == 0 {
+			continue
+		}
+		lo, hi := after.Buckets[i], after.Buckets[i+1]
+		var mid float64
+		switch {
+		case math.IsInf(lo, -1):
+			mid = hi
+		case math.IsInf(hi, 1):
+			mid = lo
+		default:
+			mid = (lo + hi) / 2
+		}
+		seconds += float64(delta) * mid
+	}
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// gcPauseDelta measures GC pause time accrued while fn runs (driver-wide,
+// attributed to the stage that triggered it).
+func gcPauseDelta(fn func() error) (time.Duration, error) {
+	before := readGCPauseHist()
+	err := fn()
+	return gcPauseHistDelta(before, readGCPauseHist()), err
+}

@@ -27,6 +27,10 @@ type lineage[T any] struct {
 	// since-materialized dataset picks up the stored data instead of
 	// recomputing.
 	compute func(p int, tm *TaskMetrics) ([]T, error)
+	// sizeHint estimates partition p's input size for LPT dispatch by asking
+	// the chain's source dataset(s). Nil means no information (index-order
+	// dispatch).
+	sizeHint func(p int) int64
 
 	// children counts lazy consumers recorded over this node. The planner
 	// fuses maximal LINEAR chains: a second lazy consumer makes this node a
@@ -46,7 +50,7 @@ func (l *lineage[T]) fusedName() string { return strings.Join(l.ops, "+") }
 // closure. WithCodec uses this so each codec-variant materializes into its
 // own dataset.
 func (l *lineage[T]) fork() *lineage[T] {
-	return &lineage[T]{nparts: l.nparts, ops: append([]string(nil), l.ops...), compute: l.compute}
+	return &lineage[T]{nparts: l.nparts, ops: append([]string(nil), l.ops...), compute: l.compute, sizeHint: l.sizeHint}
 }
 
 // isLazy reports whether the dataset still has an unforced plan.
@@ -98,8 +102,9 @@ func lazyNarrow[T, U any](name string, d *Dataset[T], codec Serializer[U], fn fu
 		ctx:   d.ctx,
 		codec: codec,
 		plan: &lineage[U]{
-			nparts: d.NumPartitions(),
-			ops:    chainOps(d.lineageOps(), name),
+			nparts:   d.NumPartitions(),
+			ops:      chainOps(d.lineageOps(), name),
+			sizeHint: d.partitionSizeHint,
 			compute: func(p int, tm *TaskMetrics) ([]U, error) {
 				in, err := d.partition(p, tm)
 				if err != nil {
@@ -125,8 +130,9 @@ func lazyZip2[A, B, U any](name string, a *Dataset[A], b *Dataset[B], codec Seri
 		ctx:   a.ctx,
 		codec: codec,
 		plan: &lineage[U]{
-			nparts: a.NumPartitions(),
-			ops:    chainOps(append(append([]string(nil), a.lineageOps()...), b.lineageOps()...), name),
+			nparts:   a.NumPartitions(),
+			ops:      chainOps(append(append([]string(nil), a.lineageOps()...), b.lineageOps()...), name),
+			sizeHint: func(p int) int64 { return a.partitionSizeHint(p) + b.partitionSizeHint(p) },
 			compute: func(p int, tm *TaskMetrics) ([]U, error) {
 				as, err := a.partition(p, tm)
 				if err != nil {
@@ -158,8 +164,9 @@ func lazyZip3[A, B, C, U any](name string, a *Dataset[A], b *Dataset[B], c *Data
 		ctx:   a.ctx,
 		codec: codec,
 		plan: &lineage[U]{
-			nparts: a.NumPartitions(),
-			ops:    chainOps(ops, name),
+			nparts:   a.NumPartitions(),
+			ops:      chainOps(ops, name),
+			sizeHint: func(p int) int64 { return a.partitionSizeHint(p) + b.partitionSizeHint(p) + c.partitionSizeHint(p) },
 			compute: func(p int, tm *TaskMetrics) ([]U, error) {
 				as, err := a.partition(p, tm)
 				if err != nil {
@@ -212,6 +219,7 @@ func runFused[T any](d *Dataset[T]) error {
 	n := pl.nparts
 	if d.ctx.StoreSerialized && d.codec != nil {
 		d.blocks = make([][]byte, n)
+		d.blockCodec = d.codec
 	} else {
 		d.parts = make([][]T, n)
 	}
@@ -219,7 +227,7 @@ func runFused[T any](d *Dataset[T]) error {
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = d.ctx.runTasks(n, func(p int, tm *TaskMetrics) error {
+		tms, err = d.ctx.runTasksLPT(n, pl.sizeHint, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
 			out, err := pl.compute(p, tm)
 			if err != nil {

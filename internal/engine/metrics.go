@@ -27,13 +27,20 @@ func (k StageKind) String() string {
 
 // TaskMetrics records one task's execution.
 type TaskMetrics struct {
-	Partition         int
+	Partition int
+	// Wall is the task's busy time. For pipelined reduce tasks it excludes
+	// FetchWait, so Wall stays a CPU-time proxy for the trace replay and the
+	// blocked-time analysis can account waiting separately.
 	Wall              time.Duration
 	SerializeTime     time.Duration // time spent in codec calls
 	ShuffleReadBytes  int64
 	ShuffleWriteBytes int64
 	InputItems        int
 	OutputItems       int
+	// FetchWait is reduce-side time blocked waiting for a map bucket that no
+	// map task has published yet (pipelined shuffle only; the barrier shuffle
+	// by construction never waits inside a reduce task).
+	FetchWait time.Duration
 }
 
 // StageMetrics records one stage.
@@ -52,6 +59,11 @@ type StageMetrics struct {
 	GCPause time.Duration
 	// DriverTime is serial time spent on the driver (actions, broadcast).
 	DriverTime time.Duration
+	// PipelineOverlap is the wall-clock span during which this stage's tasks
+	// ran concurrently with the producing map tasks (pipelined shuffle reduce
+	// stages only: last map finish minus first reduce start, clamped at zero).
+	// Under the barrier shuffle it is always zero.
+	PipelineOverlap time.Duration
 }
 
 // ShuffleReadBytes sums shuffle-read bytes across tasks.
@@ -89,6 +101,15 @@ func (s *StageMetrics) MaxTaskTime() time.Duration {
 		if s.Tasks[i].Wall > d {
 			d = s.Tasks[i].Wall
 		}
+	}
+	return d
+}
+
+// FetchWait sums reduce-side blocked time across tasks.
+func (s *StageMetrics) FetchWait() time.Duration {
+	var d time.Duration
+	for i := range s.Tasks {
+		d += s.Tasks[i].FetchWait
 	}
 	return d
 }
@@ -167,6 +188,27 @@ func (m Metrics) TotalFusedOps() int {
 		n += m.Stages[i].FusedOps
 	}
 	return n
+}
+
+// TotalFetchWait sums reduce-side blocked time over all stages — the
+// pipelined shuffle's analogue of Spark's fetch-wait metric that the §5.3
+// blocked-time analysis attributes separately from task CPU time.
+func (m Metrics) TotalFetchWait() time.Duration {
+	var d time.Duration
+	for i := range m.Stages {
+		d += m.Stages[i].FetchWait()
+	}
+	return d
+}
+
+// TotalPipelineOverlap sums the map/reduce overlap spans of pipelined
+// shuffle stages.
+func (m Metrics) TotalPipelineOverlap() time.Duration {
+	var d time.Duration
+	for i := range m.Stages {
+		d += m.Stages[i].PipelineOverlap
+	}
+	return d
 }
 
 // TotalDriverTime sums serial driver time.

@@ -32,7 +32,7 @@ func runNarrow[T, U any](name string, d *Dataset[T], codec Serializer[U], fn fun
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = d.ctx.runTasks(d.NumPartitions(), func(p int, tm *TaskMetrics) error {
+		tms, err = d.ctx.runTasksLPT(d.NumPartitions(), d.partitionSizeHint, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
 			in, err := d.partition(p, tm)
 			if err != nil {
@@ -159,7 +159,7 @@ func Collect[T any](name string, d *Dataset[T]) ([]T, error) {
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = d.ctx.runTasks(d.NumPartitions(), func(p int, tm *TaskMetrics) error {
+		tms, err = d.ctx.runTasksLPT(d.NumPartitions(), d.partitionSizeHint, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
 			items, err := d.partition(p, tm)
 			if err != nil {
@@ -212,7 +212,7 @@ func Reduce[T any](name string, d *Dataset[T], fn func(T, T) T) (T, bool, error)
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = d.ctx.runTasks(d.NumPartitions(), func(p int, tm *TaskMetrics) error {
+		tms, err = d.ctx.runTasksLPT(d.NumPartitions(), d.partitionSizeHint, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
 			items, err := d.partition(p, tm)
 			if err != nil {
@@ -267,7 +267,7 @@ func Count[T any](name string, d *Dataset[T]) (int, error) {
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = d.ctx.runTasks(d.NumPartitions(), func(p int, tm *TaskMetrics) error {
+		tms, err = d.ctx.runTasksLPT(d.NumPartitions(), d.partitionSizeHint, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
 			items, err := d.partition(p, tm)
 			if err != nil {

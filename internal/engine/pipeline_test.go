@@ -1,0 +1,349 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// slowCodec delays every Marshal/Unmarshal by delay, forcing map tasks to
+// still be running when reduce tasks start — the schedule that exercises
+// fetch wait and pipeline overlap.
+type slowCodec struct {
+	delay time.Duration
+}
+
+func (slowCodec) Name() string { return "slow-gob" }
+
+func (c slowCodec) Marshal(items []int) ([]byte, error) {
+	time.Sleep(c.delay)
+	return gobSerializer[int]{}.Marshal(items)
+}
+
+func (c slowCodec) Unmarshal(data []byte) ([]int, error) {
+	time.Sleep(c.delay)
+	return gobSerializer[int]{}.Unmarshal(data)
+}
+
+// jitterCodec sleeps a random duration per call so map tasks complete in a
+// different order every run — the adversarial schedule for the determinism
+// property. The global rand functions are mutex-protected, so concurrent map
+// tasks can share them.
+type jitterCodec struct{}
+
+func (jitterCodec) Name() string { return "jitter-gob" }
+
+func (jitterCodec) Marshal(items []int) ([]byte, error) {
+	time.Sleep(time.Duration(rand.Intn(3)) * time.Millisecond)
+	return gobSerializer[int]{}.Marshal(items)
+}
+
+func (c jitterCodec) Unmarshal(data []byte) ([]int, error) {
+	return gobSerializer[int]{}.Unmarshal(data)
+}
+
+// failingCodec errors on any block containing poison.
+type failingCodec struct {
+	poison int
+}
+
+func (failingCodec) Name() string { return "failing" }
+
+func (c failingCodec) Marshal(items []int) ([]byte, error) {
+	for _, it := range items {
+		if it == c.poison {
+			return nil, fmt.Errorf("poisoned block")
+		}
+	}
+	return gobSerializer[int]{}.Marshal(items)
+}
+
+func (c failingCodec) Unmarshal(data []byte) ([]int, error) {
+	return gobSerializer[int]{}.Unmarshal(data)
+}
+
+// shuffledPartitions runs PartitionBy on items under the given flags and
+// returns every output partition's contents.
+func shuffledPartitions(t *testing.T, items []int, inParts, outParts, workers int, barrier bool, codec Serializer[int]) [][]int {
+	t.Helper()
+	ctx := NewContext(workers)
+	ctx.DisablePipelinedShuffle = barrier
+	d := Parallelize(ctx, items, inParts)
+	if codec != nil {
+		d = WithCodec(d, codec)
+	}
+	out, err := PartitionBy("shuffle", d, outParts, func(x int) int { return x * 7 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([][]int, out.NumPartitions())
+	for p := range parts {
+		items, err := out.partition(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[p] = items
+	}
+	return parts
+}
+
+// TestPipelinedMatchesBarrierProperty is the core determinism property: for
+// random inputs and partitionings, the pipelined shuffle's output partitions
+// are identical to the barrier shuffle's.
+func TestPipelinedMatchesBarrierProperty(t *testing.T) {
+	f := func(raw []int16, inP, outP, w uint8) bool {
+		items := make([]int, len(raw))
+		for i, v := range raw {
+			items[i] = int(v)
+		}
+		inParts := 1 + int(inP)%6
+		outParts := 1 + int(outP)%6
+		workers := 1 + int(w)%8
+		pipelined := shuffledPartitions(t, items, inParts, outParts, workers, false, nil)
+		barrier := shuffledPartitions(t, items, inParts, outParts, workers, true, nil)
+		return reflect.DeepEqual(pipelined, barrier)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelinedDeterministicUnderRandomCompletion injects random per-block
+// serialization delays so map tasks publish in a different order each run;
+// the merged output must not change.
+func TestPipelinedDeterministicUnderRandomCompletion(t *testing.T) {
+	items := intRange(500)
+	want := shuffledPartitions(t, items, 6, 4, 4, true, nil)
+	for trial := 0; trial < 5; trial++ {
+		got := shuffledPartitions(t, items, 6, 4, 4, false, jitterCodec{})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: pipelined output differs from barrier reference", trial)
+		}
+	}
+}
+
+// waitGoroutinesBelow polls until the goroutine count drops to at most base
+// (tolerating runtime bookkeeping goroutines that were already running).
+func waitGoroutinesBelow(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestPipelinedMapErrorCancelsReduces injects a map-side serialization
+// failure: the shuffle must return that error (not a cancellation), produce
+// no result, and leave no goroutine behind even though reduce tasks were
+// blocked waiting for the failed map's buckets.
+func TestPipelinedMapErrorCancelsReduces(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx := NewContext(8)
+	// 2 map partitions, 6 reduce partitions: reduce tasks hold worker slots
+	// and block on notifications while the poisoned map task fails.
+	d := WithCodec(Parallelize(ctx, intRange(100), 2), failingCodec{poison: 99})
+	_, err := PartitionBy("boom", d, 6, func(x int) int { return x })
+	if err == nil {
+		t.Fatal("expected map-side error")
+	}
+	if !strings.Contains(err.Error(), "poisoned block") || errors.Is(err, errShuffleCanceled) {
+		t.Fatalf("root cause masked by cancellation: %v", err)
+	}
+	waitGoroutinesBelow(t, base)
+}
+
+// TestPipelinedPanicRecovered: a panicking route function must surface as an
+// error from the pipelined pass, with no leaked goroutines.
+func TestPipelinedPanicRecovered(t *testing.T) {
+	base := runtime.NumGoroutine()
+	ctx := NewContext(4)
+	d := Parallelize(ctx, intRange(50), 4)
+	_, err := PartitionBy("panic", d, 4, func(x int) int {
+		if x == 17 {
+			panic("route blew up")
+		}
+		return x
+	})
+	if err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("panic not converted to error: %v", err)
+	}
+	waitGoroutinesBelow(t, base)
+}
+
+// TestPipelinedFetchWaitAndOverlap sets up more workers than map tasks so
+// reduce tasks start while maps are still serializing: FetchWait and
+// PipelineOverlap must be recorded, and only on the pipelined run.
+func TestPipelinedFetchWaitAndOverlap(t *testing.T) {
+	run := func(barrier bool) Metrics {
+		ctx := NewContext(8)
+		ctx.DisablePipelinedShuffle = barrier
+		d := WithCodec(Parallelize(ctx, intRange(400), 2), slowCodec{delay: 10 * time.Millisecond})
+		if _, err := PartitionBy("pipe", d, 4, func(x int) int { return x }); err != nil {
+			t.Fatal(err)
+		}
+		return ctx.Metrics()
+	}
+	pm := run(false)
+	if pm.TotalFetchWait() == 0 {
+		t.Fatal("pipelined run recorded no fetch wait despite blocked reduces")
+	}
+	if pm.TotalPipelineOverlap() == 0 {
+		t.Fatal("pipelined run recorded no map/reduce overlap")
+	}
+	bm := run(true)
+	if bm.TotalFetchWait() != 0 || bm.TotalPipelineOverlap() != 0 {
+		t.Fatalf("barrier run must not record pipeline metrics: wait=%v overlap=%v",
+			bm.TotalFetchWait(), bm.TotalPipelineOverlap())
+	}
+	// Both runs still record exactly two shuffle stage rows.
+	for _, m := range []Metrics{pm, bm} {
+		shuffles := 0
+		for _, s := range m.Stages {
+			if s.Kind == StageShuffle {
+				shuffles++
+			}
+		}
+		if shuffles != 2 {
+			t.Fatalf("shuffle stage rows = %d, want 2", shuffles)
+		}
+	}
+}
+
+// TestBarrierFallbackMatchesAccounting: the ablation flag must keep the
+// write==read byte invariant on both strategies.
+func TestBarrierFallbackMatchesAccounting(t *testing.T) {
+	for _, barrier := range []bool{false, true} {
+		ctx := NewContext(2)
+		ctx.DisablePipelinedShuffle = barrier
+		d := Parallelize(ctx, intRange(1000), 4)
+		if _, err := PartitionBy("shuffle", d, 8, func(x int) int { return x }); err != nil {
+			t.Fatal(err)
+		}
+		m := ctx.Metrics()
+		var wr, rd int64
+		for _, s := range m.Stages {
+			wr += s.ShuffleWriteBytes()
+			rd += s.ShuffleReadBytes()
+		}
+		if wr == 0 || wr != rd {
+			t.Fatalf("barrier=%v: write %d read %d", barrier, wr, rd)
+		}
+	}
+}
+
+// TestLPTOrder checks the dispatch order: descending by hint, stable on
+// ties, identity without hints.
+func TestLPTOrder(t *testing.T) {
+	sizes := []int64{1, 5, 3, 5}
+	got := lptOrder(len(sizes), func(i int) int64 { return sizes[i] })
+	want := []int{1, 3, 2, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("lptOrder = %v, want %v", got, want)
+	}
+	if got := lptOrder(3, nil); !reflect.DeepEqual(got, []int{0, 1, 2}) {
+		t.Fatalf("nil hint order = %v", got)
+	}
+}
+
+// intsCodec encodes ints as fixed 8-byte little-endian words — deliberately
+// incompatible with gob framing, for the codec-swap regression test.
+type intsCodec struct{}
+
+func (intsCodec) Name() string { return "ints-fixed" }
+
+func (intsCodec) Marshal(items []int) ([]byte, error) {
+	out := make([]byte, 0, 8*len(items))
+	for _, v := range items {
+		u := uint64(v)
+		for b := 0; b < 8; b++ {
+			out = append(out, byte(u>>(8*b)))
+		}
+	}
+	return out, nil
+}
+
+func (intsCodec) Unmarshal(data []byte) ([]int, error) {
+	if len(data)%8 != 0 {
+		return nil, fmt.Errorf("ints-fixed: truncated block")
+	}
+	out := make([]int, 0, len(data)/8)
+	for i := 0; i < len(data); i += 8 {
+		var u uint64
+		for b := 0; b < 8; b++ {
+			u |= uint64(data[i+b]) << (8 * b)
+		}
+		out = append(out, int(u))
+	}
+	return out, nil
+}
+
+// TestWithCodecSwapDecodesWithOriginalCodec is the regression test for the
+// codec-swap corruption bug: blocks encoded by one codec must keep decoding
+// with that codec after WithCodec attaches a different one.
+func TestWithCodecSwapDecodesWithOriginalCodec(t *testing.T) {
+	ctx := NewContext(2)
+	ctx.StoreSerialized = true
+	src := WithCodec(Parallelize(ctx, intRange(64), 4), intsCodec{})
+	// Materialize serialized blocks under intsCodec via an identity stage.
+	d, err := Map("ident", src, Serializer[int](intsCodec{}), func(x int) int { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Force(); err != nil {
+		t.Fatal(err)
+	}
+	// Swap the codec: the stored blocks are still intsCodec bytes. Before the
+	// blockCodec fix this decoded fixed-width words with the gob decoder.
+	swapped := WithCodec(d, gobSerializer[int]{})
+	got, err := Collect("collect", swapped)
+	if err != nil {
+		t.Fatalf("collect after codec swap: %v", err)
+	}
+	if !reflect.DeepEqual(got, intRange(64)) {
+		t.Fatalf("codec swap corrupted data: got %v", got[:8])
+	}
+	// New stage outputs derived from the swapped dataset use the new codec.
+	d2, err := Map("reenc", swapped, Serializer[int](gobSerializer[int]{}), func(x int) int { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Collect("collect2", d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2, intRange(64)) {
+		t.Fatal("re-encoded dataset corrupted")
+	}
+}
+
+// TestGCPauseDeltaPopulates: the runtime/metrics-based pause measurement
+// must observe forced collections.
+func TestGCPauseDeltaPopulates(t *testing.T) {
+	if gcPauseMetric == "" {
+		t.Skip("runtime exposes no GC pause histogram")
+	}
+	delta, err := gcPauseDelta(func() error {
+		for i := 0; i < 5; i++ {
+			runtime.GC()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta <= 0 {
+		t.Fatalf("gcPauseDelta = %v after 5 forced GCs, want > 0", delta)
+	}
+}

@@ -1,15 +1,361 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
-// shuffle is the wide-operation core: route decides the destination
-// partition of each item from (map partition, item index, item), map tasks
-// bucket and serialize, reduce tasks fetch and decode. Shuffles are barriers:
-// any pending narrow chain on d is forced first.
+// errShuffleCanceled marks a task that was aborted because a sibling task in
+// the same shuffle failed first. It is never returned to callers: the root
+// cause is.
+var errShuffleCanceled = errors.New("engine: shuffle canceled by sibling task failure")
+
+// shuffleCore is the wide-operation executor shared by every shuffle-shaped
+// op (PartitionBy, Repartition, CombineByKey). It is generic over B, the
+// decoded form of one map-side bucket, and O, the output item type:
+//
+//   - mapTask runs once per input partition m and calls emit(r, block) for
+//     every non-empty serialized bucket as soon as that bucket is encoded
+//     (per-bucket readiness: a long map task streams its buckets out rather
+//     than landing them all at task end), charging shuffle-write bytes
+//     itself; buckets it never emits are treated as empty;
+//   - decode turns one arriving block into a B (called in arrival order);
+//   - merge combines the decoded buckets of reduce partition r — indexed by
+//     map task, zero values for empty buckets — into the output partition.
+//     Merging strictly in map-task order is what keeps the output
+//     deterministic whatever order buckets arrived in.
+//
+// Two execution strategies share the callbacks: the default pipelined
+// push-based run (map and reduce tasks in ONE worker-pool pass; reduce task r
+// consumes bucket (m, r) as soon as map task m publishes it) and the
+// two-barrier run used when Context.DisablePipelinedShuffle is set. Both
+// record the same two StageMetrics rows (name/map, name/reduce) so stage
+// counts and byte accounting are strategy-independent.
+type shuffleCore[B, O any] struct {
+	ctx     *Context
+	name    string
+	in, out int
+	mapHint func(m int) int64
+	mapTask func(m int, tm *TaskMetrics, emit func(r int, block []byte)) error
+	decode  func(r int, block []byte, tm *TaskMetrics) (B, error)
+	merge   func(r int, decoded []B, tm *TaskMetrics) ([]O, error)
+	res     *Dataset[O]
+}
+
+func (sc *shuffleCore[B, O]) run() error {
+	// With one worker there is no concurrency to pipeline into: the schedule
+	// degenerates to all-maps-then-all-reduces either way, so take the
+	// barrier path outright and skip the notification machinery (whose
+	// per-task overhead would otherwise pollute single-worker traces).
+	if sc.ctx.DisablePipelinedShuffle || sc.ctx.workers == 1 {
+		return sc.runBarrier()
+	}
+	return sc.runPipelined()
+}
+
+// finishReduce merges the decoded buckets of reduce partition r and stores
+// the output. Wall excludes FetchWait so it stays a busy-time measure.
+func (sc *shuffleCore[B, O]) finishReduce(r int, decoded []B, tm *TaskMetrics, start time.Time) error {
+	out, err := sc.merge(r, decoded, tm)
+	if err != nil {
+		return err
+	}
+	tm.OutputItems = len(out)
+	if err := storePartition(sc.res, r, out, tm); err != nil {
+		return err
+	}
+	if wall := time.Since(start) - tm.FetchWait; wall > 0 {
+		tm.Wall = wall
+	}
+	return nil
+}
+
+// runBarrier is the classic two-phase shuffle: every map task finishes before
+// any reduce task starts. Kept as the ablation baseline
+// (Context.DisablePipelinedShuffle) and as the reference implementation the
+// pipelined run is property-tested against.
+func (sc *shuffleCore[B, O]) runBarrier() error {
+	buckets := make([][][]byte, sc.in) // buckets[mapTask][reducePartition]
+	stage := StageMetrics{Name: sc.name + "/map", Kind: StageShuffle}
+	var tms []TaskMetrics
+	gc, err := gcPauseDelta(func() error {
+		var err error
+		tms, err = sc.ctx.runTasksLPT(sc.in, sc.mapHint, func(m int, tm *TaskMetrics) error {
+			start := time.Now()
+			enc := make([][]byte, sc.out)
+			if err := sc.mapTask(m, tm, func(r int, block []byte) { enc[r] = block }); err != nil {
+				return err
+			}
+			buckets[m] = enc
+			tm.Wall = time.Since(start)
+			return nil
+		})
+		return err
+	})
+	stage.Tasks = tms
+	stage.GCPause = gc
+	sc.ctx.recordStage(stage)
+	if err != nil {
+		return err
+	}
+
+	// Reduce dispatch is size-aware too: the hint is the exact byte volume
+	// this reduce partition will fetch.
+	redHint := func(r int) int64 {
+		var n int64
+		for m := range buckets {
+			n += int64(len(buckets[m][r]))
+		}
+		return n
+	}
+	stage = StageMetrics{Name: sc.name + "/reduce", Kind: StageShuffle}
+	gc, err = gcPauseDelta(func() error {
+		var err error
+		tms, err = sc.ctx.runTasksLPT(sc.out, redHint, func(r int, tm *TaskMetrics) error {
+			start := time.Now()
+			decoded := make([]B, sc.in)
+			for m := 0; m < sc.in; m++ {
+				block := buckets[m][r]
+				if block == nil {
+					continue
+				}
+				tm.ShuffleReadBytes += int64(len(block))
+				b, err := sc.decode(r, block, tm)
+				if err != nil {
+					return err
+				}
+				decoded[m] = b
+			}
+			return sc.finishReduce(r, decoded, tm, start)
+		})
+		return err
+	})
+	stage.Tasks = tms
+	stage.GCPause = gc
+	sc.ctx.recordStage(stage)
+	return err
+}
+
+// runPipelined executes map and reduce tasks in one worker-pool pass.
+//
+// Protocol: map task m pushes m onto reduce task r's notification channel
+// the moment bucket (m, r) is encoded — per-bucket readiness, so a long map
+// task streams its buckets out as it goes instead of landing them all at
+// task end; buckets the map never emits are published as empty when the
+// task completes. The channels are buffered to the map-task count, so
+// publishing never blocks. Reduce task r receives map indices in
+// publication order, decodes each bucket (m, r) as it arrives —
+// overlapping decode with still-running maps — and finally merges the
+// decoded buckets in map-task order, which makes the output independent of
+// arrival order.
+//
+// Scheduling: map tasks are dispatched first (largest-first per mapHint),
+// reduce tasks after, through one worker-slot semaphore. A reduce task that
+// must block on an unpublished bucket RELEASES its worker slot for the
+// duration of the wait and re-acquires it when data (or cancellation)
+// arrives — a stalled reduce never starves runnable work, so every slot is
+// always held by a task making progress. Map tasks never wait on other
+// tasks, so the pipeline cannot deadlock: slot-holders run to completion,
+// waiters are unblocked by map completions, and re-acquisition only
+// competes with other runnable work. (With W=1 reduce tasks effectively
+// start after all maps finish — the pipeline degrades to the barrier
+// schedule but never deadlocks.)
+//
+// Failure: the first map/reduce error (or panic) closes cancel exactly once;
+// every blocked reduce task unblocks through the cancel branch and returns.
+// The pass always joins its WaitGroup, so no goroutine outlives the call,
+// and the caller discards the result dataset on error — no partial output.
+func (sc *shuffleCore[B, O]) runPipelined() error {
+	in, out := sc.in, sc.out
+	buckets := make([][][]byte, in)
+	mapTMs := make([]TaskMetrics, in)
+	redTMs := make([]TaskMetrics, out)
+	mapErrs := make([]error, in)
+	redErrs := make([]error, out)
+	notify := make([]chan int, out)
+	for r := range notify {
+		notify[r] = make(chan int, in)
+	}
+	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	abort := func() { cancelOnce.Do(func() { close(cancel) }) }
+	sem := make(chan struct{}, sc.ctx.workers)
+
+	start := time.Now()
+	mapEnd := make([]time.Duration, in)    // offset of map m's publish, from shuffle start
+	redStart := make([]time.Duration, out) // offset of reduce r's first instruction
+
+	runMap := func(m int) {
+		tm := &mapTMs[m]
+		defer func() {
+			if p := recover(); p != nil {
+				mapErrs[m] = fmt.Errorf("engine: task %d panicked: %v", m, p)
+				abort()
+			}
+		}()
+		select {
+		case <-cancel:
+			mapErrs[m] = errShuffleCanceled
+			return
+		default:
+		}
+		t0 := time.Now()
+		buckets[m] = make([][]byte, out)
+		published := make([]bool, out)
+		emit := func(r int, block []byte) {
+			// The store happens-before the send; the send happens-before the
+			// reduce side's read of buckets[m][r].
+			buckets[m][r] = block
+			published[r] = true
+			notify[r] <- m // buffered to in: never blocks
+		}
+		if err := sc.mapTask(m, tm, emit); err != nil {
+			// Buckets already emitted stay valid (reduces may have consumed
+			// them); the ones never published are covered by cancellation.
+			mapErrs[m] = err
+			abort()
+			return
+		}
+		tm.Wall = time.Since(t0)
+		for r := 0; r < out; r++ {
+			if !published[r] {
+				notify[r] <- m // empty bucket: publish so reduce r can account for m
+			}
+		}
+		mapEnd[m] = time.Since(start)
+	}
+
+	runReduce := func(r int) {
+		tm := &redTMs[r]
+		defer func() {
+			if p := recover(); p != nil {
+				redErrs[r] = fmt.Errorf("engine: task %d panicked: %v", r, p)
+				abort()
+			}
+		}()
+		redStart[r] = time.Since(start)
+		t0 := time.Now()
+		decoded := make([]B, in)
+		for seen := 0; seen < in; seen++ {
+			var m int
+			select {
+			case m = <-notify[r]:
+			default:
+				// Nothing published yet: genuine fetch wait, measured only on
+				// receives that actually block. Release the worker slot for the
+				// duration — a stalled reduce must not starve runnable tasks —
+				// and re-acquire before touching the bucket. The re-acquire wait
+				// counts as FetchWait too: the task was only queued because it
+				// had stalled on data.
+				w0 := time.Now()
+				<-sem
+				var canceled bool
+				select {
+				case m = <-notify[r]:
+				case <-cancel:
+					canceled = true
+				}
+				sem <- struct{}{}
+				tm.FetchWait += time.Since(w0)
+				if canceled {
+					redErrs[r] = errShuffleCanceled
+					return
+				}
+			}
+			block := buckets[m][r]
+			if block == nil {
+				continue
+			}
+			tm.ShuffleReadBytes += int64(len(block))
+			b, err := sc.decode(r, block, tm)
+			if err != nil {
+				redErrs[r] = err
+				abort()
+				return
+			}
+			decoded[m] = b
+		}
+		if err := sc.finishReduce(r, decoded, tm, t0); err != nil {
+			redErrs[r] = err
+			abort()
+		}
+	}
+
+	var wg sync.WaitGroup
+	launch := func(fn func()) {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			fn()
+		}()
+	}
+	gc, _ := gcPauseDelta(func() error {
+		for _, m := range lptOrder(in, sc.mapHint) {
+			m := m
+			mapTMs[m].Partition = m
+			launch(func() { runMap(m) })
+		}
+		for r := 0; r < out; r++ {
+			r := r
+			redTMs[r].Partition = r
+			launch(func() { runReduce(r) })
+		}
+		wg.Wait()
+		return nil
+	})
+
+	// PipelineOverlap: the span during which reduce tasks were already
+	// running while map tasks were still publishing.
+	var lastMap time.Duration
+	for _, e := range mapEnd {
+		if e > lastMap {
+			lastMap = e
+		}
+	}
+	firstRed := time.Duration(-1)
+	for _, s := range redStart {
+		if s > 0 && (firstRed < 0 || s < firstRed) {
+			firstRed = s
+		}
+	}
+	var overlap time.Duration
+	if firstRed >= 0 && lastMap > firstRed {
+		overlap = lastMap - firstRed
+	}
+
+	sc.ctx.recordStage(StageMetrics{Name: sc.name + "/map", Kind: StageShuffle, Tasks: mapTMs, GCPause: gc})
+	sc.ctx.recordStage(StageMetrics{Name: sc.name + "/reduce", Kind: StageShuffle, Tasks: redTMs, PipelineOverlap: overlap})
+
+	for _, err := range mapErrs {
+		if err != nil && !errors.Is(err, errShuffleCanceled) {
+			return err
+		}
+	}
+	for _, err := range redErrs {
+		if err != nil && !errors.Is(err, errShuffleCanceled) {
+			return err
+		}
+	}
+	for _, errs := range [][]error{mapErrs, redErrs} {
+		for _, err := range errs {
+			if err != nil {
+				return fmt.Errorf("engine: stage %q: %w", sc.name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// shuffle is the wide-operation core for key-routed item movement: route
+// decides the destination partition of each item from (map partition, item
+// index, item), map tasks bucket and serialize, reduce tasks decode arriving
+// buckets and concatenate them in map-task order. Shuffles are barriers: any
+// pending narrow chain on d is forced first.
 func shuffle[T any](name string, d *Dataset[T], numPartitions int, route func(p, idx int, item T) int) (*Dataset[T], error) {
 	if numPartitions < 1 {
 		return nil, fmt.Errorf("engine: stage %q: numPartitions must be positive", name)
@@ -19,15 +365,15 @@ func shuffle[T any](name string, d *Dataset[T], numPartitions int, route func(p,
 	}
 	codec := d.effectiveCodec()
 	in := d.NumPartitions()
-
-	// Map side: bucket and serialize.
-	buckets := make([][][]byte, in) // buckets[mapTask][reducePartition]
-	stage := StageMetrics{Name: name + "/map", Kind: StageShuffle}
-	var tms []TaskMetrics
-	gc, err := gcPauseDelta(func() error {
-		var err error
-		tms, err = d.ctx.runTasks(in, func(p int, tm *TaskMetrics) error {
-			start := time.Now()
+	res := newResult(d.ctx, d.codec, numPartitions)
+	sc := &shuffleCore[[]T, T]{
+		ctx:     d.ctx,
+		name:    name,
+		in:      in,
+		out:     numPartitions,
+		mapHint: d.partitionSizeHint,
+		res:     res,
+		mapTask: func(p int, tm *TaskMetrics, emit func(r int, block []byte)) error {
 			items, err := d.partition(p, tm)
 			if err != nil {
 				return err
@@ -41,7 +387,6 @@ func shuffle[T any](name string, d *Dataset[T], numPartitions int, route func(p,
 				}
 				local[k] = append(local[k], it)
 			}
-			enc := make([][]byte, numPartitions)
 			serStart := time.Now()
 			for r, bucket := range local {
 				if len(bucket) == 0 {
@@ -51,59 +396,37 @@ func shuffle[T any](name string, d *Dataset[T], numPartitions int, route func(p,
 				if err != nil {
 					return fmt.Errorf("engine: stage %q map %d: %w", name, p, err)
 				}
-				enc[r] = block
 				tm.ShuffleWriteBytes += int64(len(block))
+				emit(r, block) // pushed the moment it is encoded
 			}
 			tm.SerializeTime += time.Since(serStart)
-			buckets[p] = enc
 			tm.OutputItems = len(items)
-			tm.Wall = time.Since(start)
 			return nil
-		})
-		return err
-	})
-	stage.Tasks = tms
-	stage.GCPause = gc
-	d.ctx.recordStage(stage)
-	if err != nil {
-		return nil, err
-	}
-
-	// Reduce side: fetch and decode buckets in map-task order (deterministic).
-	res := newResult(d.ctx, d.codec, numPartitions)
-	stage = StageMetrics{Name: name + "/reduce", Kind: StageShuffle}
-	gc, err = gcPauseDelta(func() error {
-		var err error
-		tms, err = d.ctx.runTasks(numPartitions, func(r int, tm *TaskMetrics) error {
-			start := time.Now()
-			var out []T
+		},
+		decode: func(r int, block []byte, tm *TaskMetrics) ([]T, error) {
 			serStart := time.Now()
-			for m := 0; m < in; m++ {
-				block := buckets[m][r]
-				if block == nil {
-					continue
-				}
-				tm.ShuffleReadBytes += int64(len(block))
-				items, err := codec.Unmarshal(block)
-				if err != nil {
-					return fmt.Errorf("engine: stage %q reduce %d: %w", name, r, err)
-				}
-				out = append(out, items...)
-			}
+			items, err := codec.Unmarshal(block)
 			tm.SerializeTime += time.Since(serStart)
-			tm.OutputItems = len(out)
-			if err := storePartition(res, r, out, tm); err != nil {
-				return err
+			if err != nil {
+				return nil, fmt.Errorf("engine: stage %q reduce %d: %w", name, r, err)
 			}
-			tm.Wall = time.Since(start)
-			return nil
-		})
-		return err
-	})
-	stage.Tasks = tms
-	stage.GCPause = gc
-	d.ctx.recordStage(stage)
-	if err != nil {
+			return items, nil
+		},
+		merge: func(_ int, decoded [][]T, _ *TaskMetrics) ([]T, error) {
+			// Pre-size from decoded bucket lengths: one allocation instead of
+			// append-doubling across in buckets.
+			total := 0
+			for _, chunk := range decoded {
+				total += len(chunk)
+			}
+			out := make([]T, 0, total)
+			for _, chunk := range decoded {
+				out = append(out, chunk...)
+			}
+			return out, nil
+		},
+	}
+	if err := sc.run(); err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -161,7 +484,7 @@ func Union[T any](name string, ds ...*Dataset[T]) (*Dataset[T], error) {
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = ctx.runTasks(total, func(i int, tm *TaskMetrics) error {
+		tms, err = ctx.runTasksLPT(total, func(i int) int64 { return slots[i].d.partitionSizeHint(slots[i].p) }, func(i int, tm *TaskMetrics) error {
 			start := time.Now()
 			items, err := slots[i].d.partition(slots[i].p, tm)
 			if err != nil {
@@ -197,53 +520,4 @@ func SortPartitions[T any](name string, d *Dataset[T], less func(a, b T) bool) (
 		sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
 		return out, nil
 	})
-}
-
-// CountByKey returns a map from key to item count — the read census of the
-// dynamic repartitioner (§4.4 step 2: "reduce is performed ... and returns
-// the number of reads in each partition to the driver"). CountByKey is an
-// action: it forces any pending narrow chain first.
-func CountByKey[T any](name string, d *Dataset[T], key func(T) int) (map[int]int, error) {
-	if err := d.Force(); err != nil {
-		return nil, err
-	}
-	partials := make([]map[int]int, d.NumPartitions())
-	stage := StageMetrics{Name: name, Kind: StageAction}
-	var tms []TaskMetrics
-	gc, err := gcPauseDelta(func() error {
-		var err error
-		tms, err = d.ctx.runTasks(d.NumPartitions(), func(p int, tm *TaskMetrics) error {
-			start := time.Now()
-			items, err := d.partition(p, tm)
-			if err != nil {
-				return err
-			}
-			tm.InputItems = len(items)
-			m := map[int]int{}
-			for _, it := range items {
-				m[key(it)]++
-			}
-			partials[p] = m
-			tm.Wall = time.Since(start)
-			return nil
-		})
-		return err
-	})
-	stage.Tasks = tms
-	stage.GCPause = gc
-	driverStart := time.Now()
-	out := map[int]int{}
-	if err == nil {
-		for _, m := range partials {
-			for k, v := range m {
-				out[k] += v
-			}
-		}
-	}
-	stage.DriverTime = time.Since(driverStart)
-	d.ctx.recordStage(stage)
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
 }

@@ -38,6 +38,8 @@ var opFuncs = map[string]bool{
 	"Repartition":    true,
 	"SortPartitions": true,
 	"CountByKey":     true,
+	"CombineByKey":   true, // key + create/mergeValue/mergeCombiners closures
+	"ReduceByKey":    true,
 	"Reduce":         true,
 }
 

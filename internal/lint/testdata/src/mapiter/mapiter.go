@@ -64,3 +64,48 @@ func negatives(m map[string]int) ([]string, int, map[string]int) {
 	_ = unsorted
 	return ordered, sum, copied
 }
+
+// keyed mirrors the engine's Keyed pair flowing through the combine shuffle.
+type keyed struct {
+	Key int
+	Val int
+}
+
+// combinerPositives: emitting shuffle pairs straight out of a combiner
+// accumulator map makes bucket blocks byte-nondeterministic per run.
+func combinerPositives(acc map[int]int, notify chan int) []keyed {
+	var pairs []keyed
+	for k, v := range acc {
+		pairs = append(pairs, keyed{Key: k, Val: v}) // want "\"pairs\" accumulates in map iteration order"
+	}
+
+	// Publishing per-bucket readiness while iterating an accumulator map:
+	// downstream reduce tasks would observe a random arrival order per run
+	// even for identical inputs.
+	for k := range acc {
+		notify <- k // want "send on channel inside map iteration"
+	}
+	return pairs
+}
+
+// combinerNegatives: the pipelined shuffle's own idioms must stay quiet.
+func combinerNegatives(acc map[int]int, notify []chan int, m int) []keyed {
+	// The engine's sortedPairs shape: collect keys, sort, then emit pairs by
+	// ranging the sorted slice.
+	keys := make([]int, 0, len(acc))
+	for k := range acc {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	pairs := make([]keyed, 0, len(keys))
+	for _, k := range keys {
+		pairs = append(pairs, keyed{Key: k, Val: acc[k]})
+	}
+
+	// The map task's publish loop ranges a SLICE of per-reduce channels —
+	// deterministic order, not a map iteration.
+	for r := range notify {
+		notify[r] <- m
+	}
+	return pairs
+}
