@@ -25,11 +25,13 @@ lint:
 
 check: build vet lint test
 
-# bench-json emits the shuffle benchmarks (WGS ablation + I/O-model micro)
+# bench-json emits the shuffle and columnar-projection benchmarks (WGS
+# ablation + I/O-model micro + projection pushdown + per-column codec micro)
 # as machine-readable test2json events for the experiment archive (see
 # EXPERIMENTS.md).
 bench-json:
-	$(GO) test -json -run '^$$' -bench 'BenchmarkAblationPipelinedShuffle|BenchmarkShuffleMicro' -benchtime 3x . > BENCH_5.json
+	$(GO) test -json -run '^$$' -bench 'BenchmarkAblationPipelinedShuffle|BenchmarkShuffleMicro|BenchmarkProjectionPushdown' -benchtime 3x . > BENCH_6.json
+	$(GO) test -json -run '^$$' -bench 'BenchmarkColumnar' -benchtime 100x ./internal/colfmt >> BENCH_6.json
 
 clean:
 	$(GO) clean ./...

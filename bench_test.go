@@ -268,6 +268,27 @@ func BenchmarkAblationPipelinedShuffle(b *testing.B) {
 	}
 }
 
+// BenchmarkProjectionPushdown flips columnar partition storage against the
+// generic gob fallback on a coordinate-only census stage (the repartitioner's
+// load-census pattern: it reads RefID/Pos and nothing else). ns/op is the
+// census wall time; the extra metrics report the engine's decode accounting —
+// the columnar run decodes a fraction of the stored bytes and prunes the
+// rest, the gob run decodes everything.
+func BenchmarkProjectionPushdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Projection(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Columnar.DecodedBytes)/1e6, "columnar-decoded-MB")
+		b.ReportMetric(float64(res.Gob.DecodedBytes)/1e6, "gob-decoded-MB")
+		b.ReportMetric(100*res.Columnar.PruningRatio, "pruned-%")
+		b.ReportMetric(100*res.DecodeReduction(), "decode-reduction-%")
+		b.ReportMetric(float64(res.Columnar.Wall.Milliseconds()), "columnar-census-ms")
+		b.ReportMetric(float64(res.Gob.Wall.Milliseconds()), "gob-census-ms")
+	}
+}
+
 // blockIOCodec is a string codec charging a size-proportional latency on
 // both sides, modeling the disk/network transfer a shuffle block pays in a
 // real deployment (Spark's shuffle always spills serialized blocks; see

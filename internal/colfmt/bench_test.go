@@ -1,0 +1,80 @@
+package colfmt_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/colfmt"
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/sam"
+)
+
+// benchBatch is the standard benchmark workload: a deterministic batch of
+// randomized records (the partition-block granularity the engine encodes).
+func benchBatch(n int) []sam.Record {
+	return randBatch(rand.New(rand.NewSource(99)), n)
+}
+
+func benchBlock(b *testing.B, recs []sam.Record) []byte {
+	b.Helper()
+	block, err := colfmt.Codec{}.Marshal(recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return block
+}
+
+func BenchmarkColumnarMarshal(b *testing.B) {
+	recs := benchBatch(2000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (colfmt.Codec{}).Marshal(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColumnarUnmarshalFull(b *testing.B) {
+	block := benchBlock(b, benchBatch(2000))
+	b.SetBytes(int64(len(block)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (colfmt.Codec{}).Unmarshal(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColumnarDecodeColumn decodes one column at a time through a
+// projection mask — the per-column codec cost profile. The reported
+// decoded-MB/s throughput is against the full block size, so columns that
+// prune more of the block run proportionally faster.
+func BenchmarkColumnarDecodeColumn(b *testing.B) {
+	block := benchBlock(b, benchBatch(2000))
+	cols := []struct {
+		name string
+		mask engine.FieldMask
+	}{
+		{"name", colfmt.FieldName},
+		{"flag", colfmt.FieldFlag},
+		{"coord", colfmt.FieldCoord},
+		{"mapq", colfmt.FieldMapQ},
+		{"cigar", colfmt.FieldCigar},
+		{"mate", colfmt.FieldMate},
+		{"seq", colfmt.FieldSeq},
+		{"qual", colfmt.FieldQual},
+		{"tags", colfmt.FieldTags},
+	}
+	for _, col := range cols {
+		b.Run(col.name, func(b *testing.B) {
+			codec := colfmt.Codec{}.Project(col.mask)
+			b.SetBytes(int64(len(block)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Unmarshal(block); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

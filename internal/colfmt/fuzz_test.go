@@ -1,0 +1,113 @@
+package colfmt_test
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/colfmt"
+	"github.com/gpf-go/gpf/internal/sam"
+)
+
+// fuzzSeedBlocks are the deterministic seed inputs shared by the fuzz target
+// and the checked-in corpus under testdata/fuzz/FuzzColumnarRoundTrip (see
+// TestFuzzSeedCorpusInSync): valid blocks of characteristic shapes plus a few
+// corrupt prefixes.
+func fuzzSeedBlocks(tb testing.TB) [][]byte {
+	mustMarshal := func(recs []sam.Record) []byte {
+		block, err := colfmt.Codec{}.Marshal(recs)
+		if err != nil {
+			tb.Fatalf("seed marshal: %v", err)
+		}
+		return block
+	}
+	r := rand.New(rand.NewSource(1701))
+	seeds := [][]byte{
+		mustMarshal(nil),
+		mustMarshal([]sam.Record{{}}),
+		mustMarshal([]sam.Record{{
+			Name: "read1", Flag: sam.FlagPaired, RefID: 0, Pos: 100, MapQ: 60,
+			Cigar: sam.Cigar{{Len: 4, Op: 'M'}}, MateRef: 0, MatePos: 300, TempLen: 204,
+			Seq: []byte("ACGT"), Qual: []byte("####"), Tags: map[string]string{"RG": "rg0"},
+		}}),
+		mustMarshal([]sam.Record{
+			{Name: "n", Seq: []byte("NNNN"), Qual: []byte{0, 0, 0, 0}},
+			{Flag: sam.FlagUnmapped, RefID: -1, MateRef: -1},
+		}),
+		mustMarshal(randBatch(r, 12)),
+		{},                // empty input
+		{'G', 'c', 1},     // header only
+		{'G', 'c', 2, 0},  // bad version
+		{'X', 'x', 1, 99}, // bad magic
+	}
+	return seeds
+}
+
+// FuzzColumnarRoundTrip: any input the decoder accepts must re-encode
+// canonically — Marshal(Unmarshal(x)) decodes back to the same records — and
+// no input may panic or over-allocate.
+func FuzzColumnarRoundTrip(f *testing.F) {
+	for _, seed := range fuzzSeedBlocks(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, err := colfmt.Codec{}.Unmarshal(data)
+		if err != nil {
+			return // rejected input: fine, as long as it didn't panic
+		}
+		block, err := colfmt.Codec{}.Marshal(recs)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted input failed: %v", err)
+		}
+		again, err := colfmt.Codec{}.Unmarshal(block)
+		if err != nil {
+			t.Fatalf("decode of canonical re-encoding failed: %v", err)
+		}
+		if !reflect.DeepEqual(recs, again) {
+			t.Fatalf("round-trip through canonical encoding changed records")
+		}
+	})
+}
+
+// corpusDir is the checked-in seed corpus location `go test -fuzz` merges
+// with the f.Add seeds.
+func corpusDir() string {
+	return filepath.Join("testdata", "fuzz", "FuzzColumnarRoundTrip")
+}
+
+// corpusEntry renders one seed in the go-fuzz v1 corpus file format.
+func corpusEntry(seed []byte) string {
+	return fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.QuoteToASCII(string(seed)))
+}
+
+// TestFuzzSeedCorpusInSync verifies the checked-in corpus matches
+// fuzzSeedBlocks. Regenerate with GPF_WRITE_FUZZ_CORPUS=1 go test
+// ./internal/colfmt -run TestFuzzSeedCorpusInSync.
+func TestFuzzSeedCorpusInSync(t *testing.T) {
+	seeds := fuzzSeedBlocks(t)
+	if os.Getenv("GPF_WRITE_FUZZ_CORPUS") != "" {
+		if err := os.MkdirAll(corpusDir(), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range seeds {
+			name := filepath.Join(corpusDir(), fmt.Sprintf("seed-%02d", i))
+			if err := os.WriteFile(name, []byte(corpusEntry(seed)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for i, seed := range seeds {
+		name := filepath.Join(corpusDir(), fmt.Sprintf("seed-%02d", i))
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("corpus file missing (regenerate with GPF_WRITE_FUZZ_CORPUS=1): %v", err)
+		}
+		if string(got) != corpusEntry(seed) {
+			t.Fatalf("corpus file %s out of sync with fuzzSeedBlocks", name)
+		}
+	}
+}

@@ -138,6 +138,28 @@ type huffDecoder struct {
 	table [1 << peekBits]uint32
 }
 
+// validateCodeLens rejects code-length tables that cannot come from a
+// canonical Huffman code: lengths over maxCodeLen (they would index past the
+// decoder's per-length arrays) and overfull trees violating the Kraft
+// inequality (their canonical codes overflow and corrupt the peek table).
+// Decode paths handed untrusted blocks must call this before newHuffDecoder.
+func validateCodeLens(lens []uint8) error {
+	var kraft uint64
+	for sym, l := range lens {
+		if l == 0 {
+			continue
+		}
+		if l > maxCodeLen {
+			return fmt.Errorf("compress: symbol %d code length %d exceeds max %d", sym, l, maxCodeLen)
+		}
+		kraft += 1 << (maxCodeLen - l)
+	}
+	if kraft > 1<<maxCodeLen {
+		return fmt.Errorf("compress: overfull Huffman code (Kraft sum %d/2^%d)", kraft, maxCodeLen)
+	}
+	return nil
+}
+
 func newHuffDecoder(lens []uint8) *huffDecoder {
 	d := &huffDecoder{}
 	for _, l := range lens {
@@ -237,6 +259,9 @@ func huffmanEncode(symbols []int, alphabet int, eof int) ([]uint8, []byte, error
 
 // huffmanDecode inverts huffmanEncode, stopping at the EOF symbol.
 func huffmanDecode(lens []uint8, payload []byte, eof int) ([]int, error) {
+	if err := validateCodeLens(lens); err != nil {
+		return nil, err
+	}
 	d := newHuffDecoder(lens)
 	r := &bitReader{buf: payload}
 	var out []int

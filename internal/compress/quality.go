@@ -70,6 +70,9 @@ func DecodeQualBlock(data []byte, lengths []int) ([][]byte, error) {
 	}
 	lens := make([]uint8, qualAlphabet)
 	copy(lens, data[:qualAlphabet])
+	if err := validateCodeLens(lens); err != nil {
+		return nil, err
+	}
 	d := newHuffDecoder(lens)
 	r := &bitReader{buf: data[qualAlphabet:]}
 	out := make([][]byte, len(lengths))

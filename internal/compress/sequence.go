@@ -111,6 +111,54 @@ func restoreSpecials(seq, qual []byte) {
 	}
 }
 
+// Pack2Bit appends the 2-bit packed form of seq to dst, substituting code 0
+// ('A') for any non-ACGT byte instead of failing. Callers that must restore
+// the original bytes (e.g. the columnar codec's seq column) record the
+// substituted positions out of band; packSeq remains the strict variant used
+// by the quality-coupled Fig 4 path.
+func Pack2Bit(dst, seq []byte) []byte {
+	var cur byte
+	var n uint
+	for _, b := range seq {
+		code := genome.BaseCode(b)
+		if code < 0 {
+			code = 0
+		}
+		cur = cur<<2 | byte(code)
+		n++
+		if n == 4 {
+			dst = append(dst, cur)
+			cur, n = 0, 0
+		}
+	}
+	if n > 0 {
+		dst = append(dst, cur<<(2*(4-n)))
+	}
+	return dst
+}
+
+// Unpack2Bit decodes len(dst) bases from packed into dst (the caller's arena
+// slab) and returns the number of packed bytes consumed. Unlike unpackSeq it
+// never allocates: the 4-base tail that would overrun dst is staged through a
+// stack temporary.
+func Unpack2Bit(dst, packed []byte) (int, error) {
+	length := len(dst)
+	need := (length + 3) / 4
+	if len(packed) < need {
+		return 0, fmt.Errorf("compress: packed sequence truncated: need %d bytes, have %d", need, len(packed))
+	}
+	i := 0
+	for ; i+4 <= length; i += 4 {
+		copy(dst[i:i+4], unpack4Tab[packed[i/4]][:])
+	}
+	if i < length {
+		var tail [4]byte
+		copy(tail[:], unpack4Tab[packed[i/4]][:])
+		copy(dst[i:], tail[:length-i])
+	}
+	return need, nil
+}
+
 // EncodeSeq compresses one sequence (no quality coupling): uvarint length +
 // 2-bit payload. Ns are not allowed here; use the block codec for reads with
 // quality-coupled N handling. Exposed for reference-sequence storage.

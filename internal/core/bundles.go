@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/gpf-go/gpf/internal/colfmt"
 	"github.com/gpf-go/gpf/internal/compress"
 	"github.com/gpf-go/gpf/internal/engine"
 	"github.com/gpf-go/gpf/internal/genome"
@@ -57,11 +58,16 @@ func (t CodecTier) String() string {
 }
 
 // SAMCodec returns the SAM serializer for the runtime's tier (nil selects
-// the engine's gob fallback).
+// the engine's gob fallback). The GPF tier is the columnar codec: per-field
+// blocks with projection pushdown (colfmt), the layout that subsumes the
+// row-wise Fig 4 codec for cache and shuffle storage. Setting
+// Engine.DisableColumnar falls the GPF tier back to gob at the engine level
+// (the columnar ablation); the row-wise compress.GPFSAMCodec remains
+// available directly for the §4.2 codec-tier comparisons.
 func (rt *Runtime) SAMCodec() engine.Serializer[sam.Record] {
 	switch rt.Codec {
 	case TierGPF:
-		return compress.GPFSAMCodec{}
+		return colfmt.Codec{}
 	case TierField:
 		return compress.FieldSAMCodec{}
 	default:

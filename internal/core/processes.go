@@ -6,6 +6,7 @@ import (
 	"github.com/gpf-go/gpf/internal/align"
 	"github.com/gpf-go/gpf/internal/caller"
 	"github.com/gpf-go/gpf/internal/cleaner"
+	"github.com/gpf-go/gpf/internal/colfmt"
 	"github.com/gpf-go/gpf/internal/engine"
 	"github.com/gpf-go/gpf/internal/fastq"
 	"sort"
@@ -169,6 +170,16 @@ func (p *ReadRepartitionerProcess) Run(rt *Runtime) error {
 		if err != nil {
 			return err
 		}
+		// The census keys on RefID/Pos only, so read through a coordinate
+		// projection view: a columnar-stored input decodes just the coord
+		// column and prunes name/seq/qual/tags (projection pushdown). The
+		// census is a barrier anyway, so force any pending chain first — the
+		// view must wrap the materialized dataset to project its stored
+		// blocks. On a non-columnar input the view is a no-op.
+		if err := flat.Force(); err != nil {
+			return err
+		}
+		flat = engine.ReadingFields(flat, colfmt.FieldCoord)
 		if rt.Engine.DisableMapSideCombine {
 			// No-combine ablation: the legacy census, whole per-partition
 			// count maps shipped to a serial driver merge.

@@ -137,7 +137,7 @@ func CombineByKey[T, C any](name string, d *Dataset[T], numPartitions int, key f
 		},
 		decode: func(r int, block []byte, tm *TaskMetrics) ([]Keyed[C], error) {
 			serStart := time.Now()
-			pairs, err := codec.Unmarshal(block)
+			pairs, err := unmarshalCharged(codec, block, tm)
 			tm.SerializeTime += time.Since(serStart)
 			if err != nil {
 				return nil, fmt.Errorf("engine: stage %q reduce %d: %w", name, r, err)

@@ -65,6 +65,13 @@ type Context struct {
 	// (see BenchmarkAblationPipelinedShuffle); off (pipelined) by default.
 	DisablePipelinedShuffle bool
 
+	// DisableColumnar suppresses columnar serializers: any attached codec
+	// that reports Columnar() true is replaced by the gob fallback for both
+	// cache materialization and shuffle transport, and with it projection
+	// pushdown (a gob block can only decode whole). Used as the row-format
+	// baseline in the columnar ablation; off (columnar on) by default.
+	DisableColumnar bool
+
 	// DisableMapSideCombine turns off pre-aggregation in CombineByKey (every
 	// item is shipped as its own pair) and routes CountByKey through the
 	// legacy serial driver merge that ships whole per-partition gob maps.

@@ -28,6 +28,12 @@ type Dataset[T any] struct {
 	// derived from this dataset).
 	blockCodec Serializer[T]
 	plan       *lineage[T]
+	// hasProj/proj carry a ReadingFields projection: when set, serialized
+	// blocks decode through decodeCodec().Project(proj) if the codec is
+	// projectable. hasProj distinguishes "no declaration" (decode everything)
+	// from the legal zero mask (count-only decode).
+	hasProj bool
+	proj    FieldMask
 }
 
 // gobSerializer is the built-in generic fallback codec, standing in for Java
@@ -115,12 +121,11 @@ func (d *Dataset[T]) NumPartitions() int {
 	return len(d.parts)
 }
 
-// effectiveCodec returns the attached codec or the gob fallback.
+// effectiveCodec returns the serializer used to encode this dataset's
+// outputs: the attached codec, or the gob fallback when none is attached or
+// the DisableColumnar ablation suppresses a columnar codec.
 func (d *Dataset[T]) effectiveCodec() Serializer[T] {
-	if d.codec != nil {
-		return d.codec
-	}
-	return gobSerializer[T]{}
+	return effectiveSerializer(d.ctx, d.codec)
 }
 
 // decodeCodec returns the serializer to decode stored blocks with: the codec
@@ -148,7 +153,13 @@ func (d *Dataset[T]) partition(p int, tm *TaskMetrics) ([]T, error) {
 	}
 	if d.blocks != nil {
 		start := time.Now()
-		items, err := d.decodeCodec().Unmarshal(d.blocks[p])
+		codec := d.decodeCodec()
+		if d.hasProj {
+			if pc, ok := codec.(ProjectableSerializer[T]); ok {
+				codec = pc.Project(d.proj)
+			}
+		}
+		items, err := unmarshalCharged(codec, d.blocks[p], tm)
 		if err != nil {
 			return nil, fmt.Errorf("engine: decode partition %d: %w", p, err)
 		}
@@ -180,12 +191,15 @@ func storePartition[T any](res *Dataset[T], p int, out []T, tm *TaskMetrics) err
 }
 
 // newResult allocates the output dataset for n partitions, carrying over the
-// codec and choosing the storage mode.
+// codec and choosing the storage mode. blockCodec records the serializer that
+// will actually encode (effectiveSerializer, not codec): under the
+// DisableColumnar ablation the stored bytes are gob, and the decode side must
+// agree with the encode side.
 func newResult[T any](ctx *Context, codec Serializer[T], n int) *Dataset[T] {
 	res := &Dataset[T]{ctx: ctx, codec: codec}
 	if ctx.StoreSerialized && codec != nil {
 		res.blocks = make([][]byte, n)
-		res.blockCodec = codec
+		res.blockCodec = effectiveSerializer(ctx, codec)
 	} else {
 		res.parts = make([][]T, n)
 	}

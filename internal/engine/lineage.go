@@ -219,7 +219,7 @@ func runFused[T any](d *Dataset[T]) error {
 	n := pl.nparts
 	if d.ctx.StoreSerialized && d.codec != nil {
 		d.blocks = make([][]byte, n)
-		d.blockCodec = d.codec
+		d.blockCodec = effectiveSerializer(d.ctx, d.codec)
 	} else {
 		d.parts = make([][]T, n)
 	}

@@ -41,6 +41,14 @@ type TaskMetrics struct {
 	// map task has published yet (pipelined shuffle only; the barrier shuffle
 	// by construction never waits inside a reduce task).
 	FetchWait time.Duration
+	// DecodedBytes counts serialized bytes this task actually decoded —
+	// block headers plus the columns its projection mask selected (whole
+	// blocks for non-columnar codecs).
+	DecodedBytes int64
+	// PrunedBytes counts serialized bytes skipped via projection pushdown:
+	// columns a ReadingFields mask excluded, left untouched by the columnar
+	// decoder. Always zero for non-projectable codecs.
+	PrunedBytes int64
 }
 
 // StageMetrics records one stage.
@@ -80,6 +88,24 @@ func (s *StageMetrics) ShuffleWriteBytes() int64 {
 	var n int64
 	for i := range s.Tasks {
 		n += s.Tasks[i].ShuffleWriteBytes
+	}
+	return n
+}
+
+// DecodedBytes sums decoded serialized bytes across tasks.
+func (s *StageMetrics) DecodedBytes() int64 {
+	var n int64
+	for i := range s.Tasks {
+		n += s.Tasks[i].DecodedBytes
+	}
+	return n
+}
+
+// PrunedBytes sums projection-skipped serialized bytes across tasks.
+func (s *StageMetrics) PrunedBytes() int64 {
+	var n int64
+	for i := range s.Tasks {
+		n += s.Tasks[i].PrunedBytes
 	}
 	return n
 }
@@ -169,6 +195,35 @@ func (m Metrics) TotalTaskTime() time.Duration {
 		d += m.Stages[i].TaskTime()
 	}
 	return d
+}
+
+// TotalDecodedBytes sums decoded serialized bytes over all stages.
+func (m Metrics) TotalDecodedBytes() int64 {
+	var n int64
+	for i := range m.Stages {
+		n += m.Stages[i].DecodedBytes()
+	}
+	return n
+}
+
+// TotalPrunedBytes sums projection-skipped bytes over all stages.
+func (m Metrics) TotalPrunedBytes() int64 {
+	var n int64
+	for i := range m.Stages {
+		n += m.Stages[i].PrunedBytes()
+	}
+	return n
+}
+
+// PruningRatio returns the fraction of stored serialized bytes that
+// projection pushdown skipped: pruned / (decoded + pruned). Zero when nothing
+// was decoded.
+func (m Metrics) PruningRatio() float64 {
+	dec, pr := m.TotalDecodedBytes(), m.TotalPrunedBytes()
+	if dec+pr == 0 {
+		return 0
+	}
+	return float64(pr) / float64(dec+pr)
 }
 
 // TotalGCPause sums observed GC pause deltas (Table 4's "GC Time").

@@ -257,19 +257,22 @@ func Reduce[T any](name string, d *Dataset[T], fn func(T, T) T) (T, bool, error)
 }
 
 // Count returns the total number of items. Count is an action: it forces any
-// pending narrow chain first.
+// pending narrow chain first. It reads through a zero-field projection view:
+// a columnar-stored dataset decodes only block headers (the record count is
+// in the header), pruning every column.
 func Count[T any](name string, d *Dataset[T]) (int, error) {
 	if err := d.Force(); err != nil {
 		return 0, err
 	}
-	counts := make([]int, d.NumPartitions())
+	src := ReadingFields(d, 0)
+	counts := make([]int, src.NumPartitions())
 	stage := StageMetrics{Name: name, Kind: StageAction}
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = d.ctx.runTasksLPT(d.NumPartitions(), d.partitionSizeHint, func(p int, tm *TaskMetrics) error {
+		tms, err = d.ctx.runTasksLPT(src.NumPartitions(), src.partitionSizeHint, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
-			items, err := d.partition(p, tm)
+			items, err := src.partition(p, tm)
 			if err != nil {
 				return err
 			}

@@ -1,0 +1,132 @@
+package engine
+
+// Field projection (projection pushdown) lets a stage that reads only a few
+// record fields skip decoding the rest. The engine knows nothing about what
+// the fields ARE — FieldMask bits are assigned by the codec package (colfmt
+// maps them to SAM columns) — it only plumbs the mask from the consumption
+// edge to the decode call:
+//
+//   - ReadingFields(d, mask) returns a read view of d declaring that every
+//     consumer of the view depends only on the fields in mask. Ops built over
+//     the view (and the fused chains rooted at it) decode d's serialized
+//     blocks through codec.Project(mask) when the codec supports it.
+//   - A fused stage's effective mask is the union of the masks of the source
+//     views its chain reads: each source decodes under its own view's mask,
+//     and sources read without a view decode everything (FieldsAll).
+//   - Codecs that cannot project (gob, the Fig 4 SAM codecs) ignore the mask
+//     and decode fully — projection is an optimization, never a semantics
+//     change.
+//
+// DecodedBytes/PrunedBytes accounting rides the same seam: StatsSerializer
+// codecs report exactly which bytes they touched, and non-stats codecs are
+// charged the whole block.
+
+// FieldMask is a bitset of record fields a consumer reads. Bit meanings
+// belong to the projectable codec (see internal/colfmt's Field* constants);
+// the engine treats the mask as opaque. The zero mask is legal and means "no
+// field content" — a count-only read that decodes just block headers.
+type FieldMask uint64
+
+// FieldsAll selects every field — the mask of an undeclared (conservative)
+// reader.
+const FieldsAll = ^FieldMask(0)
+
+// DecodeStats reports how many serialized bytes one Unmarshal call actually
+// decoded versus skipped via projection.
+type DecodeStats struct {
+	// DecodedBytes counts bytes read to produce the result: block headers,
+	// framing, and the columns selected by the mask.
+	DecodedBytes int64
+	// PrunedBytes counts bytes skipped outright because the projection mask
+	// excluded their column.
+	PrunedBytes int64
+}
+
+// ProjectableSerializer is a Serializer that can restrict decoding to a field
+// subset. Project returns a serializer whose Unmarshal materializes only the
+// fields in mask (other fields are zero values) and whose Marshal is
+// unchanged; Project(FieldsAll) must behave like the receiver.
+type ProjectableSerializer[T any] interface {
+	Serializer[T]
+	Project(mask FieldMask) Serializer[T]
+}
+
+// StatsSerializer is a Serializer that reports decode-byte accounting. The
+// stats are returned per call (not accumulated on the serializer), keeping
+// shared codec values race-free across concurrent tasks.
+type StatsSerializer[T any] interface {
+	Serializer[T]
+	UnmarshalStats(data []byte) ([]T, DecodeStats, error)
+}
+
+// columnarSerializer marks serializers subject to the DisableColumnar
+// ablation. It is satisfied structurally (no engine import needed by the
+// codec package).
+type columnarSerializer interface{ Columnar() bool }
+
+// isColumnar reports whether codec opted into the columnar ablation switch.
+func isColumnar(codec any) bool {
+	c, ok := codec.(columnarSerializer)
+	return ok && c.Columnar()
+}
+
+// effectiveSerializer resolves the serializer actually used for encoding:
+// the attached codec, or the gob fallback when none is attached — or when the
+// codec is columnar and the DisableColumnar ablation is on.
+func effectiveSerializer[T any](ctx *Context, codec Serializer[T]) Serializer[T] {
+	if codec == nil || (ctx.DisableColumnar && isColumnar(codec)) {
+		return gobSerializer[T]{}
+	}
+	return codec
+}
+
+// ReadingFields returns a read view of d declaring that every consumer of the
+// view reads only the fields in mask. The view shares d's storage; it only
+// changes how serialized blocks decode: through codec.Project(mask) when d's
+// decode codec is projectable, unchanged otherwise. Ops and fused chains
+// built over the view inherit the mask at the point where they read d's
+// partitions.
+//
+// The caller asserts the mask covers everything its consumers touch —
+// projecting away a field a consumer then reads yields zero values, not an
+// error. Views compose: a view of a view intersects the masks. On a still-
+// lazy dataset the view is d itself (an unforced chain recomputes records
+// instead of decoding them, so there is nothing to prune; wrap the
+// materialized source feeding the chain instead).
+func ReadingFields[T any](d *Dataset[T], mask FieldMask) *Dataset[T] {
+	if d.isLazy() {
+		return d
+	}
+	if d.hasProj {
+		mask &= d.proj
+	}
+	res := *d
+	res.hasProj = true
+	res.proj = mask
+	return &res
+}
+
+// unmarshalCharged decodes one block, charging decode-byte accounting to tm:
+// exact decoded/pruned splits for StatsSerializer codecs, the whole block
+// length otherwise.
+func unmarshalCharged[T any](codec Serializer[T], block []byte, tm *TaskMetrics) ([]T, error) {
+	if ss, ok := codec.(StatsSerializer[T]); ok {
+		items, st, err := ss.UnmarshalStats(block)
+		if err != nil {
+			return nil, err
+		}
+		if tm != nil {
+			tm.DecodedBytes += st.DecodedBytes
+			tm.PrunedBytes += st.PrunedBytes
+		}
+		return items, nil
+	}
+	items, err := codec.Unmarshal(block)
+	if err != nil {
+		return nil, err
+	}
+	if tm != nil {
+		tm.DecodedBytes += int64(len(block))
+	}
+	return items, nil
+}

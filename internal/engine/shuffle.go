@@ -405,7 +405,7 @@ func shuffle[T any](name string, d *Dataset[T], numPartitions int, route func(p,
 		},
 		decode: func(r int, block []byte, tm *TaskMetrics) ([]T, error) {
 			serStart := time.Now()
-			items, err := codec.Unmarshal(block)
+			items, err := unmarshalCharged(codec, block, tm)
 			tm.SerializeTime += time.Since(serStart)
 			if err != nil {
 				return nil, fmt.Errorf("engine: stage %q reduce %d: %w", name, r, err)

@@ -349,3 +349,30 @@ func TestTable5Efficiencies(t *testing.T) {
 		t.Fatalf("format rows = %d", len(res.Format()))
 	}
 }
+
+func TestProjectionPushdownWins(t *testing.T) {
+	res, err := Projection(SmallScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records == 0 {
+		t.Fatal("no records aligned")
+	}
+	// Projection (the constructor already enforces columnar < gob) must also
+	// report a positive pruned volume and a sane ratio.
+	if res.Columnar.PrunedBytes <= 0 {
+		t.Fatalf("columnar pruned %d bytes, want > 0", res.Columnar.PrunedBytes)
+	}
+	if res.Gob.PrunedBytes != 0 {
+		t.Fatalf("gob pruned %d bytes, want 0", res.Gob.PrunedBytes)
+	}
+	if r := res.Columnar.PruningRatio; r <= 0 || r >= 1 {
+		t.Fatalf("pruning ratio = %v, want in (0,1)", r)
+	}
+	if red := res.DecodeReduction(); red <= 0 || red >= 1 {
+		t.Fatalf("decode reduction = %v, want in (0,1)", red)
+	}
+	if rows := res.Format(); len(rows) != 4 {
+		t.Fatalf("format rows = %d, want 4", len(rows))
+	}
+}

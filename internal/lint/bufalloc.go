@@ -8,9 +8,10 @@ import (
 )
 
 // BufAlloc flags fresh bytes.Buffer allocations inside codec and serializer
-// hot paths (Marshal/Unmarshal/Encode/Decode functions in internal/compress
-// and internal/engine). These run once per partition per stage; PR 1 showed
-// the unpooled gob scratch buffer dominating shuffle-side allocations.
+// hot paths (Marshal/Unmarshal/Encode/Decode functions in internal/compress,
+// internal/engine and internal/colfmt). These run once per partition per
+// stage; PR 1 showed the unpooled gob scratch buffer dominating shuffle-side
+// allocations.
 // Buffers in these paths must come from internal/bufpool (Get/Put/Bytes).
 // Output slices that transfer ownership to the caller are fine — only the
 // Buffer staging pattern is flagged, since that is precisely what the pool
@@ -22,7 +23,7 @@ var BufAlloc = &analysis.Analyzer{
 	Run: runBufAlloc,
 }
 
-var bufAllocScopes = []string{"internal/compress", "internal/engine"}
+var bufAllocScopes = []string{"internal/compress", "internal/engine", "internal/colfmt"}
 
 // hotPathFunc reports whether a function name marks a serializer hot path.
 func hotPathFunc(name string) bool {

@@ -32,6 +32,14 @@ func TestBufAlloc(t *testing.T) {
 	analysistest.Run(t, fixture("bufalloc"), "github.com/gpf-go/gpf/internal/compress/bufallocfixture", lint.BufAlloc)
 }
 
+// TestColfmtCodecFixture runs bufalloc and codecerr together over the
+// columnar-codec fixture: the fixture loads under a package path inside
+// internal/colfmt, so the bufalloc scope extension applies, and the colfmt
+// serializer calls are watched codec surfaces for codecerr.
+func TestColfmtCodecFixture(t *testing.T) {
+	analysistest.Run(t, fixture("colfmtcodec"), "github.com/gpf-go/gpf/internal/colfmt/colfmtcodecfixture", lint.BufAlloc, lint.CodecErr)
+}
+
 // TestScopeFilters asserts that path-scoped analyzers stay quiet outside
 // their packages: the scopecheck fixture contains mapiter and walltime
 // violations but is loaded under an unrelated import path, so the whole
