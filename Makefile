@@ -25,13 +25,18 @@ lint:
 
 check: build vet lint test
 
-# bench-json emits the shuffle and columnar-projection benchmarks (WGS
-# ablation + I/O-model micro + projection pushdown + per-column codec micro)
-# as machine-readable test2json events for the experiment archive (see
-# EXPERIMENTS.md).
+# bench-json emits the benchmark archive for the current PR (see
+# EXPERIMENTS.md): WGS ablations (shuffle, fast kernels) + I/O-model micro +
+# projection pushdown + per-column codec micro + the per-kernel
+# reference-vs-optimized pairs, as machine-readable test2json events.
+# Override BENCH_N to write a different archive generation.
+BENCH_N ?= 7
+BENCH_FILE = BENCH_$(BENCH_N).json
+
 bench-json:
-	$(GO) test -json -run '^$$' -bench 'BenchmarkAblationPipelinedShuffle|BenchmarkShuffleMicro|BenchmarkProjectionPushdown' -benchtime 3x . > BENCH_6.json
-	$(GO) test -json -run '^$$' -bench 'BenchmarkColumnar' -benchtime 100x ./internal/colfmt >> BENCH_6.json
+	$(GO) test -json -run '^$$' -bench 'BenchmarkAblationPipelinedShuffle|BenchmarkAblationFastKernels|BenchmarkShuffleMicro|BenchmarkProjectionPushdown' -benchtime 3x . > $(BENCH_FILE)
+	$(GO) test -json -run '^$$' -bench 'BenchmarkColumnar' -benchtime 100x ./internal/colfmt >> $(BENCH_FILE)
+	$(GO) test -json -run '^$$' -bench 'BenchmarkKernel' -benchmem -benchtime 1s ./internal/caller ./internal/align ./internal/genome ./internal/compress >> $(BENCH_FILE)
 
 clean:
 	$(GO) clean ./...

@@ -388,6 +388,32 @@ func BenchmarkShuffleMicro(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationFastKernels flips the profile-driven hot kernels (scaled
+// pair-HMM, banded alignment, table/word-parallel base ops) against their
+// reference implementations on the full WGS pipeline. ns/op is the
+// end-to-end wall; the call count is reported to make silent output drift
+// visible (the experiments.Kernels runner additionally asserts VCF
+// byte-identity between the two modes).
+func BenchmarkAblationFastKernels(b *testing.B) {
+	for _, cfg := range []struct {
+		name    string
+		disable bool
+	}{
+		{"fast", false},
+		{"reference", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := baseline.GPFOptions()
+				opts.NoFastKernels = cfg.disable
+				run, mk, _ := ablateRun(b, opts, scale().Workers)
+				b.ReportMetric(mk, "sim-2048-min")
+				b.ReportMetric(float64(run.NumCalls), "calls")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationDynamicRepartition flips §4.4's load balancing: without
 // it, coverage hotspots stay in single partitions and the simulated
 // straggler tail grows.

@@ -65,6 +65,10 @@ func runners() []runner {
 			r, err := experiments.Projection(s)
 			return format(r, err)
 		}, "columnar projection pushdown: coordinate census decode bytes, columnar vs gob"},
+		{"kernels", func(s experiments.Scale) ([]string, error) {
+			r, err := experiments.Kernels(s)
+			return format(r, err)
+		}, "hot-kernel ablation: WGS wall fast vs reference kernels, VCF byte-identity"},
 	}
 }
 
@@ -78,7 +82,7 @@ func format(r formatter, err error) ([]string, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1|fig5|table3|table4|fig10|fig11|fig12|fig13|table5|projection|all)")
+	exp := flag.String("exp", "all", "experiment id (table1|fig5|table3|table4|fig10|fig11|fig12|fig13|table5|projection|kernels|all)")
 	scaleName := flag.String("scale", "small", "workload scale (small|default)")
 	list := flag.Bool("list", false, "list experiments and exit")
 	flag.Parse()

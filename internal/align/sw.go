@@ -1,6 +1,7 @@
 package align
 
 import (
+	"github.com/gpf-go/gpf/internal/kernels"
 	"github.com/gpf-go/gpf/internal/sam"
 )
 
@@ -31,7 +32,26 @@ type fitResult struct {
 // end-to-end while the reference window has free flanks (Gotoh DP with full
 // traceback). It returns the best score, the window offset where the
 // alignment begins, and an M/I/D CIGAR covering the whole read.
+//
+// When the fast kernels are enabled it dispatches to the banded DP
+// (banded.go), which fills only a diagonal band of the matrix and proves its
+// own answer identical via the out-of-band score certificate — falling back
+// to the full DP on the rare reads whose banded optimum cannot rule out an
+// out-of-band path.
 func fitAlign(read, window []byte, sc Scoring) fitResult {
+	if kernels.Enabled() && bandedEligible(len(read), len(window), sc) {
+		if fit, ok := fitAlignBanded(read, window, sc); ok {
+			return fit
+		}
+	}
+	return fitAlignFull(read, window, sc)
+}
+
+// fitAlignFull is the reference implementation: the complete (m+1)×(n+1)
+// Gotoh matrix. It is the oracle for the banded kernel's equivalence
+// property tests and the DisableFastKernels ablation path, and the fallback
+// when the banded certificate fails.
+func fitAlignFull(read, window []byte, sc Scoring) fitResult {
 	m, n := len(read), len(window)
 	if m == 0 {
 		return fitResult{}

@@ -63,6 +63,10 @@ type WGSOptions struct {
 	// NoMapSideCombine disables pre-aggregation in the census and other
 	// combine-based ops (the map-side-combine ablation).
 	NoMapSideCombine bool
+	// NoFastKernels reverts the hot kernels (scaled pair-HMM, banded
+	// alignment, table/word-parallel base ops) to their reference
+	// implementations (the fast-kernel ablation).
+	NoFastKernels bool
 }
 
 // GPFOptions is the paper's system: dynamic repartition, fusion, genomic
@@ -89,6 +93,7 @@ func RunWGS(rt *core.Runtime, pairs []fastq.Pair, opts WGSOptions) (*WGSRun, err
 	rt.Codec = opts.Codec
 	rt.Engine.DisablePipelinedShuffle = opts.BarrierShuffle
 	rt.Engine.DisableMapSideCombine = opts.NoMapSideCombine
+	rt.Engine.DisableFastKernels = opts.NoFastKernels
 	if !opts.DynamicRepartition {
 		// Disable splitting: the threshold can never be exceeded.
 		rt.SplitThresholdFactor = 1e18

@@ -131,14 +131,15 @@ func CallRegion(records []sam.Record, ref *genome.Reference, region genome.Inter
 		return nil // only the reference haplotype: nothing to call
 	}
 
-	// Likelihood matrix: L[read][hap].
-	L := make([][]float64, len(reads))
+	// Likelihood matrix: L[read][hap], computed batched so the pair-HMM
+	// scratch rows are pooled once per region rather than per pair.
+	seqs := make([][]byte, len(reads))
+	quals := make([][]byte, len(reads))
 	for i, rd := range reads {
-		L[i] = make([]float64, len(haps))
-		for h, hap := range haps {
-			L[i][h] = PairHMMLogLikelihood(rd.seq, rd.qual, hap)
-		}
+		seqs[i] = rd.seq
+		quals[i] = rd.qual
 	}
+	L := PairHMMBatch(seqs, quals, haps)
 
 	// Diploid genotyping over haplotype pairs (h1 <= h2).
 	bestH1, bestH2 := 0, 0

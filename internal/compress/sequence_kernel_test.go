@@ -1,0 +1,134 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/kernels"
+)
+
+func randBases(rng *rand.Rand, n int, dirty bool) []byte {
+	clean := []byte("ACGT")
+	junk := []byte("ACGTNacgtn*")
+	src := clean
+	if dirty {
+		src = junk
+	}
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = src[rng.Intn(len(src))]
+	}
+	return s
+}
+
+// TestKernelPack2BitEquivalence: the word-parallel packer must emit exactly
+// the reference's bytes for every length (all four tail phases) and for
+// non-ACGT input (both substitute code 0), including when appending to a
+// non-empty dst.
+func TestKernelPack2BitEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for c := 0; c < 400; c++ {
+		seq := randBases(rng, rng.Intn(130), c%3 == 0)
+		want := pack2BitRef(nil, seq)
+		got := pack2BitFast(nil, seq)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("len %d: fast %x != reference %x", len(seq), got, want)
+		}
+		// Append semantics: prior dst contents must be preserved.
+		prefix := []byte{0xde, 0xad}
+		got = pack2BitFast(append([]byte(nil), prefix...), seq)
+		want = pack2BitRef(append([]byte(nil), prefix...), seq)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("len %d with prefix: fast %x != reference %x", len(seq), got, want)
+		}
+		// Public dispatcher under both kernel modes.
+		prev := kernels.SetEnabled(false)
+		slow := Pack2Bit(nil, seq)
+		kernels.SetEnabled(true)
+		fast := Pack2Bit(nil, seq)
+		kernels.SetEnabled(prev)
+		if !bytes.Equal(slow, fast) {
+			t.Fatalf("len %d: dispatcher disagrees: %x vs %x", len(seq), slow, fast)
+		}
+	}
+}
+
+// TestKernelUnpack2BitEquivalence: the word-store expansion must fill dst
+// byte-identically to the reference for every length phase, and pack→unpack
+// must round-trip clean sequences.
+func TestKernelUnpack2BitEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for c := 0; c < 400; c++ {
+		length := rng.Intn(130)
+		packed := make([]byte, (length+3)/4+rng.Intn(3)) // sometimes extra bytes
+		rng.Read(packed)
+		want := make([]byte, length)
+		unpack2BitRef(want, packed)
+		got := make([]byte, length)
+		unpack2BitFast(got, packed)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("len %d: fast %q != reference %q", length, got, want)
+		}
+		// Round-trip through the public API.
+		seq := randBases(rng, length, false)
+		rt := make([]byte, length)
+		if _, err := Unpack2Bit(rt, Pack2Bit(nil, seq)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(rt, seq) {
+			t.Fatalf("round-trip %q -> %q", seq, rt)
+		}
+	}
+	// Truncated input still errors identically in both modes.
+	for _, fast := range []bool{true, false} {
+		prev := kernels.SetEnabled(fast)
+		if _, err := Unpack2Bit(make([]byte, 9), []byte{0, 0}); err == nil {
+			t.Fatalf("fast=%v: truncated unpack did not error", fast)
+		}
+		kernels.SetEnabled(prev)
+	}
+}
+
+func benchPackInputs() (seq, packed []byte) {
+	rng := rand.New(rand.NewSource(55))
+	seq = randBases(rng, 151, false)
+	packed = Pack2Bit(nil, seq)
+	return
+}
+
+func BenchmarkKernelPack2BitReference(b *testing.B) {
+	seq, _ := benchPackInputs()
+	dst := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pack2BitRef(dst[:0], seq)
+	}
+}
+
+func BenchmarkKernelPack2BitFast(b *testing.B) {
+	seq, _ := benchPackInputs()
+	dst := make([]byte, 0, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pack2BitFast(dst[:0], seq)
+	}
+}
+
+func BenchmarkKernelUnpack2BitReference(b *testing.B) {
+	seq, packed := benchPackInputs()
+	dst := make([]byte, len(seq))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		unpack2BitRef(dst, packed)
+	}
+}
+
+func BenchmarkKernelUnpack2BitFast(b *testing.B) {
+	seq, packed := benchPackInputs()
+	dst := make([]byte, len(seq))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		unpack2BitFast(dst, packed)
+	}
+}

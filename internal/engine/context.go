@@ -78,6 +78,14 @@ type Context struct {
 	// Used as the no-combine baseline; off (combine on) by default.
 	DisableMapSideCombine bool
 
+	// DisableFastKernels reverts the profile-driven hot kernels (scaled
+	// pair-HMM, banded affine alignment, table-driven reverse complement,
+	// word-parallel 2-bit pack/unpack) to their reference implementations.
+	// The kernels live below the engine, so core.Pipeline.Run syncs this
+	// flag into the process-wide internal/kernels switch before executing;
+	// off (fast kernels on) by default.
+	DisableFastKernels bool
+
 	mu      sync.Mutex
 	metrics Metrics
 }

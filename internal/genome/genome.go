@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"github.com/gpf-go/gpf/internal/kernels"
 )
 
 // Bases used throughout the framework. Sequences are stored as upper-case
@@ -188,13 +190,54 @@ func Complement(b byte) byte {
 	}
 }
 
+// complementTab is Complement as a 256-entry lookup table: one indexed load
+// per base instead of a branch ladder, and the same table serves the in-place
+// two-pointer kernel. Built from Complement itself so the two can never
+// drift.
+var complementTab = func() (t [256]byte) {
+	for i := range t {
+		t[i] = Complement(byte(i))
+	}
+	return
+}()
+
 // ReverseComplement returns the reverse complement of seq as a new slice.
 func ReverseComplement(seq []byte) []byte {
+	if !kernels.Enabled() {
+		return reverseComplementRef(seq)
+	}
+	out := make([]byte, len(seq))
+	// Walk both ends toward the middle: every iteration fills two output
+	// bytes from one cache line at each end of the input.
+	for i, j := 0, len(seq)-1; i <= j; i, j = i+1, j-1 {
+		out[j], out[i] = complementTab[seq[i]], complementTab[seq[j]]
+	}
+	return out
+}
+
+// reverseComplementRef is the original per-base implementation, kept as the
+// equivalence oracle and the DisableFastKernels path.
+func reverseComplementRef(seq []byte) []byte {
 	out := make([]byte, len(seq))
 	for i, b := range seq {
 		out[len(seq)-1-i] = Complement(b)
 	}
 	return out
+}
+
+// ReverseComplementInPlace reverse-complements seq in place (no allocation),
+// for callers that own the buffer — e.g. flipping a mate's strand during
+// alignment without copying the read.
+func ReverseComplementInPlace(seq []byte) {
+	i, j := 0, len(seq)-1
+	for i < j {
+		seq[i], seq[j] = complementTab[seq[j]], complementTab[seq[i]]
+		i++
+		j--
+	}
+	if i == j {
+		seq[i] = complementTab[seq[i]]
+	}
 }
 
 // baseCodeTab maps every byte to its 2-bit code, -1 for non-ACGT.

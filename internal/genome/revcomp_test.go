@@ -1,0 +1,99 @@
+package genome
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/kernels"
+)
+
+func randSeq(rng *rand.Rand, n int) []byte {
+	alphabet := []byte("ACGTNacgtnXY-") // incl. lower case and junk bytes
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return s
+}
+
+// TestKernelReverseComplementEquivalence: the table-driven two-pointer kernel
+// must be byte-identical to the reference on every input, including odd
+// lengths, empty input and non-ACGT bytes.
+func TestKernelReverseComplementEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for c := 0; c < 300; c++ {
+		seq := randSeq(rng, rng.Intn(200))
+		want := reverseComplementRef(seq)
+		got := ReverseComplement(seq)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("len %d: fast %q != reference %q", len(seq), got, want)
+		}
+		// In-place variant on a copy.
+		inPlace := append([]byte(nil), seq...)
+		ReverseComplementInPlace(inPlace)
+		if !bytes.Equal(inPlace, want) {
+			t.Fatalf("len %d: in-place %q != reference %q", len(seq), inPlace, want)
+		}
+		// Dispatcher with kernels disabled must still agree.
+		prev := kernels.SetEnabled(false)
+		slow := ReverseComplement(seq)
+		kernels.SetEnabled(prev)
+		if !bytes.Equal(slow, want) {
+			t.Fatalf("len %d: disabled dispatch %q != reference %q", len(seq), slow, want)
+		}
+	}
+	// complementTab must be Complement, byte for byte.
+	for b := 0; b < 256; b++ {
+		if complementTab[b] != Complement(byte(b)) {
+			t.Fatalf("complementTab[%d] = %q, Complement = %q", b, complementTab[b], Complement(byte(b)))
+		}
+	}
+}
+
+func TestKernelReverseComplementInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for c := 0; c < 100; c++ {
+		// On clean ACGT input, revcomp is an involution.
+		seq := make([]byte, rng.Intn(100))
+		for i := range seq {
+			seq[i] = Alphabet[rng.Intn(4)]
+		}
+		if got := ReverseComplement(ReverseComplement(seq)); !bytes.Equal(got, seq) {
+			t.Fatalf("revcomp(revcomp(%q)) = %q", seq, got)
+		}
+	}
+}
+
+func benchSeq(n int) []byte {
+	rng := rand.New(rand.NewSource(45))
+	s := make([]byte, n)
+	for i := range s {
+		s[i] = Alphabet[rng.Intn(4)]
+	}
+	return s
+}
+
+func BenchmarkKernelReverseComplementReference(b *testing.B) {
+	seq := benchSeq(151)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		reverseComplementRef(seq)
+	}
+}
+
+func BenchmarkKernelReverseComplementFast(b *testing.B) {
+	seq := benchSeq(151)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ReverseComplement(seq)
+	}
+}
+
+func BenchmarkKernelReverseComplementInPlace(b *testing.B) {
+	seq := benchSeq(151)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ReverseComplementInPlace(seq)
+	}
+}

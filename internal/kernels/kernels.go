@@ -1,0 +1,35 @@
+// Package kernels holds the process-wide switch for the profile-driven hot
+// kernels (PR 7): the scaled pair-HMM forward pass, the banded affine-gap
+// aligner, the table-driven reverse complement and the word-parallel 2-bit
+// pack/unpack. Each optimized kernel keeps its reference implementation in
+// its home package; the packages dispatch on Enabled() so the ablation can
+// flip every kernel at once, mirroring the per-Context engine ablations
+// (DisableFusion, DisablePipelinedShuffle, ...).
+//
+// The flag is process-global rather than per-Context because the kernels
+// live far below the engine (per-base loops inside caller, align, compress
+// and genome) where threading a context through every call would put a
+// dependency edge from leaf packages to the engine. core.Pipeline.Run syncs
+// it from engine.Context.DisableFastKernels before executing, so pipeline
+// runs behave as if the flag were per-context; running two pipelines with
+// opposite settings concurrently in one process is unsupported (the loads
+// and stores are atomic, so the only hazard is which kernel a given call
+// picks — never a data race or a wrong result, since both paths agree to
+// the equivalence bounds asserted by the kernel property tests).
+package kernels
+
+import "sync/atomic"
+
+// disabled is the ablation state: zero value means fast kernels ON, so the
+// optimized paths are the default exactly like the engine's other
+// optimizations.
+var disabled atomic.Bool
+
+// Enabled reports whether the optimized kernels are active.
+func Enabled() bool { return !disabled.Load() }
+
+// SetEnabled turns the optimized kernels on or off and returns the previous
+// state, so tests can restore it with defer kernels.SetEnabled(prev).
+func SetEnabled(on bool) (prev bool) {
+	return !disabled.Swap(!on)
+}

@@ -9,25 +9,34 @@ import (
 
 // BufAlloc flags fresh bytes.Buffer allocations inside codec and serializer
 // hot paths (Marshal/Unmarshal/Encode/Decode functions in internal/compress,
-// internal/engine and internal/colfmt). These run once per partition per
-// stage; PR 1 showed the unpooled gob scratch buffer dominating shuffle-side
-// allocations.
-// Buffers in these paths must come from internal/bufpool (Get/Put/Bytes).
-// Output slices that transfer ownership to the caller are fine — only the
-// Buffer staging pattern is flagged, since that is precisely what the pool
-// exists for.
+// internal/engine and internal/colfmt) and inside the pooled-buffer kernel
+// paths of internal/caller and internal/align (PairHMM*/…Align* functions).
+// These run once per partition per stage — or once per read×haplotype pair
+// in the kernels; PR 1 showed the unpooled gob scratch buffer dominating
+// shuffle-side allocations.
+// Buffers in these paths must come from internal/bufpool (Get/Put/Bytes and
+// the typed slice pools). Output slices that transfer ownership to the
+// caller are fine — only the Buffer staging pattern is flagged, since that
+// is precisely what the pool exists for.
 var BufAlloc = &analysis.Analyzer{
 	Name: "bufalloc",
-	Doc: "flags fresh bytes.Buffer allocations in codec hot paths that " +
-		"should use internal/bufpool",
+	Doc: "flags fresh bytes.Buffer allocations in codec and kernel hot " +
+		"paths that should use internal/bufpool",
 	Run: runBufAlloc,
 }
 
-var bufAllocScopes = []string{"internal/compress", "internal/engine", "internal/colfmt"}
+var bufAllocScopes = []string{
+	"internal/compress", "internal/engine", "internal/colfmt",
+	"internal/caller", "internal/align",
+}
 
-// hotPathFunc reports whether a function name marks a serializer hot path.
+// hotPathFunc reports whether a function name marks a serializer or kernel
+// hot path.
 func hotPathFunc(name string) bool {
-	for _, marker := range [...]string{"Marshal", "Unmarshal", "Encode", "Decode", "Compress", "Decompress"} {
+	for _, marker := range [...]string{
+		"Marshal", "Unmarshal", "Encode", "Decode", "Compress", "Decompress",
+		"PairHMM", "Align",
+	} {
 		if strings.Contains(name, marker) {
 			return true
 		}

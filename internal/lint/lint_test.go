@@ -32,6 +32,13 @@ func TestBufAlloc(t *testing.T) {
 	analysistest.Run(t, fixture("bufalloc"), "github.com/gpf-go/gpf/internal/compress/bufallocfixture", lint.BufAlloc)
 }
 
+// TestKernelBufFixture loads the kernel-hot-path fixture under a package
+// path inside internal/caller: the bufalloc scope extension to the pooled-
+// buffer kernels applies there, watching PairHMM*/…Align* entry points.
+func TestKernelBufFixture(t *testing.T) {
+	analysistest.Run(t, fixture("kernelbuf"), "github.com/gpf-go/gpf/internal/caller/kernelbuffixture", lint.BufAlloc)
+}
+
 // TestColfmtCodecFixture runs bufalloc and codecerr together over the
 // columnar-codec fixture: the fixture loads under a package path inside
 // internal/colfmt, so the bufalloc scope extension applies, and the colfmt

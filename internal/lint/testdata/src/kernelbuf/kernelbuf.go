@@ -1,0 +1,40 @@
+// Fixture for gpflint/bufalloc over kernel hot paths: the scope extension
+// to internal/caller (and internal/align) watches PairHMM*/…Align* functions
+// for fresh bytes.Buffer staging, which must come from internal/bufpool —
+// the same discipline the pooled DP-row and band slabs follow.
+package kernelbuf
+
+import (
+	"bytes"
+
+	"github.com/gpf-go/gpf/internal/bufpool"
+)
+
+func PairHMMDebugDump(rows []float64) []byte {
+	var buf bytes.Buffer // want "var declaration allocates a fresh bytes.Buffer in a codec hot path"
+	for _, r := range rows {
+		buf.WriteByte(byte(r))
+	}
+	return buf.Bytes()
+}
+
+func FitAlignTrace(ops []byte) []byte {
+	buf := bytes.NewBuffer(nil) // want "bytes.NewBuffer allocates a fresh bytes.Buffer"
+	buf.Write(ops)
+	return buf.Bytes()
+}
+
+// PairHMMPooled is the sanctioned pattern: scratch comes from the pool.
+func PairHMMPooled(rows []float64) []byte {
+	buf := bufpool.Get()
+	defer bufpool.Put(buf)
+	for _, r := range rows {
+		buf.WriteByte(byte(r))
+	}
+	return append([]byte(nil), bufpool.Bytes(buf)...)
+}
+
+// scratch is not a kernel entry-point name: staging buffers are allowed.
+func scratch() *bytes.Buffer {
+	return bytes.NewBuffer(nil)
+}
