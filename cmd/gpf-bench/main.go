@@ -3,9 +3,11 @@
 // workloads and, where the paper measured a 2048-core cluster, replays the
 // measured trace through the cluster simulator.
 //
-//	gpf-bench -exp fig10          # one experiment
-//	gpf-bench -exp all            # everything
+//	gpf-bench -exp fig10                    # one experiment
+//	gpf-bench -exp all                      # everything
 //	gpf-bench -exp table4 -scale default
+//	gpf-bench -exp wgs -backend=mproc -procs 4   # WGS on the multi-process backend
+//	gpf-bench -exp scaling                  # measured W=1..8 curve vs simulator
 package main
 
 import (
@@ -14,7 +16,14 @@ import (
 	"os"
 	"time"
 
+	"github.com/gpf-go/gpf/internal/engine/exec/mproc"
 	"github.com/gpf-go/gpf/internal/experiments"
+)
+
+// Backend selection for the wgs runner (see -backend / -procs).
+var (
+	backendName string
+	backendProc int
 )
 
 type runner struct {
@@ -69,6 +78,13 @@ func runners() []runner {
 			r, err := experiments.Kernels(s)
 			return format(r, err)
 		}, "hot-kernel ablation: WGS wall fast vs reference kernels, VCF byte-identity"},
+		{"scaling", func(s experiments.Scale) ([]string, error) {
+			r, err := experiments.Scaling(s)
+			return format(r, err)
+		}, "multi-process scaling: measured W=1,2,4,8 vs simulator prediction"},
+		{"wgs", func(s experiments.Scale) ([]string, error) {
+			return experiments.RunWGSOn(s, backendName, backendProc)
+		}, "one WGS run on the selected executor backend (-backend, -procs)"},
 	}
 }
 
@@ -82,9 +98,15 @@ func format(r formatter, err error) ([]string, error) {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table1|fig5|table3|table4|fig10|fig11|fig12|fig13|table5|projection|kernels|all)")
+	// When re-exec'd as an mproc worker this never returns; it must run
+	// before any flag or experiment logic.
+	mproc.WorkerMaybe()
+
+	exp := flag.String("exp", "all", "experiment id (table1|fig5|table3|table4|fig10|fig11|fig12|fig13|table5|projection|kernels|scaling|wgs|all)")
 	scaleName := flag.String("scale", "small", "workload scale (small|default)")
 	list := flag.Bool("list", false, "list experiments and exit")
+	flag.StringVar(&backendName, "backend", "inproc", "executor backend for -exp wgs (inproc|sim|mproc)")
+	flag.IntVar(&backendProc, "procs", 4, "worker processes for -backend=mproc")
 	flag.Parse()
 
 	if *list {

@@ -1,0 +1,24 @@
+// Command gpf-worker is a standalone mproc worker binary. A driver points
+// mproc.Options.WorkerBin at it instead of re-exec'ing itself — useful when
+// the driver binary is heavyweight or when workers should run a pinned build.
+// It links the same job registry as gpf-bench (the experiments package
+// registers its jobs in init), so every registered job name resolves here.
+//
+// The binary only does something when spawned by an mproc driver (the
+// GPF_MPROC_WORKER handshake environment is set); run directly it exits with
+// an explanation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/gpf-go/gpf/internal/engine/exec/mproc"
+	_ "github.com/gpf-go/gpf/internal/experiments" // register mproc jobs
+)
+
+func main() {
+	mproc.WorkerMaybe()
+	fmt.Fprintln(os.Stderr, "gpf-worker: not spawned by an mproc driver (GPF_MPROC_WORKER unset); use mproc.Options.WorkerBin to point a driver here")
+	os.Exit(2)
+}

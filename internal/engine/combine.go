@@ -67,12 +67,13 @@ func CombineByKey[T, C any](name string, d *Dataset[T], numPartitions int, key f
 	combine := !d.ctx.DisableMapSideCombine
 	res := newResult(d.ctx, codec, numPartitions)
 	sc := &shuffleCore[[]Keyed[C], Keyed[C]]{
-		ctx:     d.ctx,
-		name:    name,
-		in:      in,
-		out:     numPartitions,
-		mapHint: d.partitionSizeHint,
-		res:     res,
+		ctx:      d.ctx,
+		name:     name,
+		in:       in,
+		out:      numPartitions,
+		mapHint:  d.partitionSizeHint,
+		mapOwner: d.ownerOf,
+		res:      res,
 		mapTask: func(p int, tm *TaskMetrics, emit func(r int, block []byte)) error {
 			items, err := d.partition(p, tm)
 			if err != nil {
@@ -285,7 +286,7 @@ func countByKeySerial[T any](name string, d *Dataset[T], key func(T) int) (map[i
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = d.ctx.runTasksLPT(d.NumPartitions(), d.partitionSizeHint, func(p int, tm *TaskMetrics) error {
+		tms, err = d.ctx.runTasksOwned(d.NumPartitions(), d.partitionSizeHint, d.ownerOf, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
 			items, err := d.partition(p, tm)
 			if err != nil {
@@ -314,6 +315,11 @@ func countByKeySerial[T any](name string, d *Dataset[T], key func(T) int) (map[i
 	stage.Tasks = tms
 	stage.GCPause = gc
 	driverStart := time.Now()
+	if err == nil {
+		// The per-partition gob blobs are already bytes: allgather them so
+		// every rank's serial driver merge folds the identical sequence.
+		partials, err = d.ctx.allgatherBlobs(len(partials), d.ownerOf, partials)
+	}
 	out := map[int]int{}
 	if err == nil {
 		for p, block := range partials {

@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Serializer turns a batch of records into one byte block and back. It is the
@@ -47,6 +48,14 @@ type Serializer[T any] interface {
 // zero value is not usable; create one with NewContext.
 type Context struct {
 	workers int
+	exec    Executor
+
+	// seq numbers the collective operations (shuffle exchanges, action
+	// gathers) issued by this context. Under an SPMD executor every rank runs
+	// the same deterministic driver program, so equal sequence numbers across
+	// ranks identify the same collective — that is how bucket and gather
+	// frames find their stage without a global scheduler.
+	seq atomic.Uint64
 
 	// StoreSerialized keeps dataset partitions as serialized byte blocks
 	// whenever a codec is attached — Spark's MEMORY_ONLY_SER mode that GPF
@@ -96,11 +105,36 @@ func NewContext(workers int) *Context {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Context{workers: workers}
+	return &Context{workers: workers, exec: &localExec{slots: workers}}
 }
 
-// Workers returns the configured parallelism.
+// NewContextOn creates a context running on the given executor backend. The
+// task-slot parallelism is the executor's Slots (GOMAXPROCS when it reports
+// < 1).
+func NewContextOn(exec Executor) *Context {
+	workers := exec.Slots()
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Context{workers: workers, exec: exec}
+}
+
+// Workers returns the configured task-slot parallelism of this process.
 func (c *Context) Workers() int { return c.workers }
+
+// Executor returns the execution backend.
+func (c *Context) Executor() Executor { return c.exec }
+
+// procs is the number of cooperating SPMD processes; 1 for in-process runs.
+func (c *Context) procs() int { return c.exec.Procs() }
+
+// rank is this process's index in [0, procs).
+func (c *Context) rank() int { return c.exec.Rank() }
+
+// nextSeq issues the next collective sequence number. Collectives are driven
+// serially by the (deterministic) driver program, so every rank observes the
+// same numbering.
+func (c *Context) nextSeq() uint64 { return c.seq.Add(1) }
 
 // Metrics returns a snapshot of the accumulated metrics.
 func (c *Context) Metrics() Metrics {
@@ -158,11 +192,40 @@ func lptOrder(n int, hint func(task int) int64) []int {
 // dispatch order changes: results and metrics stay indexed by task, so the
 // output is identical whatever the hints say.
 func (c *Context) runTasksLPT(n int, hint func(task int) int64, fn func(task int, tm *TaskMetrics) error) ([]TaskMetrics, error) {
+	return c.runTasksOwned(n, hint, nil, fn)
+}
+
+// runTasksOwned is runTasksLPT restricted to the tasks this rank owns: under
+// an SPMD executor with procs > 1, only tasks with ownerOf(task) == rank are
+// dispatched locally (nil ownerOf means canonical task % procs ownership);
+// the sibling ranks run the rest. Non-owned entries in the returned metrics
+// stay zero with Ran false, so a later cross-rank merge (Metrics.MergeRanks)
+// can splice each task's record from the rank that actually ran it. With one
+// process every task is owned and this is plain LPT dispatch.
+func (c *Context) runTasksOwned(n int, hint func(task int) int64, ownerOf func(task int) int, fn func(task int, tm *TaskMetrics) error) ([]TaskMetrics, error) {
+	procs, rank := c.procs(), c.rank()
+	owned := func(task int) bool {
+		if procs == 1 {
+			return true
+		}
+		if ownerOf != nil {
+			return ownerOf(task) == rank
+		}
+		return task%procs == rank
+	}
 	tms := make([]TaskMetrics, n)
 	errs := make([]error, n)
 	sem := make(chan struct{}, c.workers)
 	var wg sync.WaitGroup
 	for _, i := range lptOrder(n, hint) {
+		tms[i].Partition = i
+		if !owned(i) {
+			continue
+		}
+		if procs > 1 {
+			tms[i].Ran = true
+			tms[i].Rank = rank
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(task int) {
@@ -173,7 +236,6 @@ func (c *Context) runTasksLPT(n int, hint func(task int) int64, fn func(task int
 					errs[task] = fmt.Errorf("engine: task %d panicked: %v", task, r)
 				}
 			}()
-			tms[task].Partition = task
 			errs[task] = fn(task, &tms[task])
 		}(i)
 	}

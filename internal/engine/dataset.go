@@ -34,6 +34,20 @@ type Dataset[T any] struct {
 	// from the legal zero mask (count-only decode).
 	hasProj bool
 	proj    FieldMask
+	// owner maps partition index to the SPMD rank that computes (and holds)
+	// it; nil selects the canonical p % procs assignment. Narrow operations
+	// preserve partitioning, so results inherit their source's owner; shuffle
+	// outputs revert to canonical (reduce tasks are assigned canonically);
+	// Union installs a custom mapping routing each output slot to its source
+	// partition's owner. Irrelevant (never consulted) with one process.
+	owner func(p int) int
+	// resident marks which partitions this process actually holds. Nil means
+	// fully resident: either a single-process run, or a replicated root
+	// (Parallelize/FromPartitions inputs every rank constructs identically).
+	// Stage outputs under procs > 1 allocate the bitmap and mark only owned
+	// partitions, so reading a partition that lives on a sibling rank errors
+	// loudly instead of silently yielding empty data.
+	resident []bool
 }
 
 // gobSerializer is the built-in generic fallback codec, standing in for Java
@@ -93,7 +107,7 @@ func FromPartitions[T any](ctx *Context, parts [][]T) *Dataset[T] {
 // old bytes. On a lazy dataset the pending plan is forked so each codec
 // variant forces and materializes independently.
 func WithCodec[T any](d *Dataset[T], codec Serializer[T]) *Dataset[T] {
-	res := &Dataset[T]{ctx: d.ctx, parts: d.parts, blocks: d.blocks, codec: codec}
+	res := &Dataset[T]{ctx: d.ctx, parts: d.parts, blocks: d.blocks, codec: codec, owner: d.owner, resident: d.resident}
 	if d.blocks != nil {
 		res.blockCodec = d.decodeCodec()
 	}
@@ -138,6 +152,20 @@ func (d *Dataset[T]) decodeCodec() Serializer[T] {
 	return d.effectiveCodec()
 }
 
+// ownerOf returns the rank that computes (and holds) partition p: the
+// dataset's custom owner mapping when installed, canonical p % procs
+// otherwise. Always 0 on single-process runs.
+func (d *Dataset[T]) ownerOf(p int) int {
+	procs := d.ctx.procs()
+	if procs == 1 {
+		return 0
+	}
+	if d.owner != nil {
+		return d.owner(p)
+	}
+	return p % procs
+}
+
 // partition materializes partition p, decoding when stored serialized, and
 // charges codec time to tm when non-nil. On a lazy dataset the partition is
 // computed through the fused chain closure (downstream lineages read their
@@ -150,6 +178,9 @@ func (d *Dataset[T]) partition(p int, tm *TaskMetrics) ([]T, error) {
 	if d.plan != nil && d.plan.err != nil {
 		// Forced and failed: the error is sticky, don't serve partial data.
 		return nil, d.plan.err
+	}
+	if d.resident != nil && p < len(d.resident) && !d.resident[p] {
+		return nil, fmt.Errorf("engine: partition %d not resident on rank %d (owned by rank %d): cross-rank reads must go through a shuffle or action", p, d.ctx.rank(), d.ownerOf(p))
 	}
 	if d.blocks != nil {
 		start := time.Now()
@@ -184,9 +215,15 @@ func storePartition[T any](res *Dataset[T], p int, out []T, tm *TaskMetrics) err
 			tm.SerializeTime += time.Since(start)
 		}
 		res.blocks[p] = block
-		return nil
+	} else {
+		res.parts[p] = out
 	}
-	res.parts[p] = out
+	if res.resident != nil {
+		// Concurrent tasks write distinct elements; the store above
+		// happens-before any read of partition p by construction (tasks only
+		// read partitions their stage's ownership assigns to them).
+		res.resident[p] = true
+	}
 	return nil
 }
 
@@ -202,6 +239,9 @@ func newResult[T any](ctx *Context, codec Serializer[T], n int) *Dataset[T] {
 		res.blockCodec = effectiveSerializer(ctx, codec)
 	} else {
 		res.parts = make([][]T, n)
+	}
+	if ctx.procs() > 1 {
+		res.resident = make([]bool, n)
 	}
 	return res
 }

@@ -1,0 +1,224 @@
+package mproc
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/engine/exec/simexec"
+)
+
+// The conformance suite: every registered conformance job must produce
+// byte-identical output on all three executor backends (in-process pool,
+// simulator oracle, multi-process), across task-slot counts (dispatch-order
+// independence) and process counts (ownership splits), with the jitter codec
+// randomizing bucket arrival where a shuffle is involved.
+
+func init() {
+	// conf-shuffle: two chained shuffles plus a sort barrier under a jittery
+	// codec — determinism under randomized bucket arrival order.
+	RegisterJob("conf-shuffle", func(ctx *engine.Context, spec []byte) ([]byte, error) {
+		n, inParts, outParts, err := parseTestSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		d := engine.WithCodec(engine.Parallelize(ctx, seqInts(n), inParts), varintCodec{jitter: true})
+		s1, err := engine.PartitionBy("c/p1", d, outParts, func(x int) int { return x * 31 })
+		if err != nil {
+			return nil, err
+		}
+		s2, err := engine.PartitionBy("c/p2", s1, inParts, func(x int) int { return x >> 3 })
+		if err != nil {
+			return nil, err
+		}
+		s3, err := engine.SortPartitions("c/sort", s2, func(a, b int) bool { return a < b })
+		if err != nil {
+			return nil, err
+		}
+		items, err := engine.Collect("c/collect", s3)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(fmt.Sprint(items)), nil
+	})
+
+	// conf-broadcast: a broadcast table must be visible inside tasks on every
+	// rank (SPMD: each rank materializes it identically).
+	RegisterJob("conf-broadcast", func(ctx *engine.Context, spec []byte) ([]byte, error) {
+		n, inParts, outParts, err := parseTestSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		table := make([]int, 64)
+		for i := range table {
+			table[i] = i*i + 1
+		}
+		bc := engine.NewBroadcast(ctx, "c/bcast", table, int64(8*len(table)))
+		d := engine.Parallelize(ctx, seqInts(n), inParts)
+		mapped, err := engine.Map("c/lookup", d, engine.Serializer[int](varintCodec{}), func(x int) int {
+			return x + bc.Value[x%len(bc.Value)]
+		})
+		if err != nil {
+			return nil, err
+		}
+		shuf, err := engine.PartitionBy("c/pb", mapped, outParts, func(x int) int { return x })
+		if err != nil {
+			return nil, err
+		}
+		items, err := engine.Collect("c/collect", shuf)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(fmt.Sprint(items)), nil
+	})
+
+	// conf-union: Union installs a slot-based ownership override — collects
+	// and downstream shuffles must route through it, not the canonical p%W.
+	RegisterJob("conf-union", func(ctx *engine.Context, spec []byte) ([]byte, error) {
+		n, inParts, outParts, err := parseTestSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		a := engine.Parallelize(ctx, seqInts(n), inParts)
+		bItems := make([]int, n/2)
+		for i := range bItems {
+			bItems[i] = -i
+		}
+		b := engine.Parallelize(ctx, bItems, inParts+1)
+		u, err := engine.Union("c/union", a, b)
+		if err != nil {
+			return nil, err
+		}
+		total, err := engine.Count("c/count", u)
+		if err != nil {
+			return nil, err
+		}
+		shuf, err := engine.PartitionBy("c/pb", u, outParts, func(x int) int { return x * 13 })
+		if err != nil {
+			return nil, err
+		}
+		items, err := engine.Collect("c/collect", shuf)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(fmt.Sprintf("%d|%v", total, items)), nil
+	})
+
+	// conf-combine: map-side combine, the census (CountByKey) and a Reduce —
+	// the action gathers whose driver-side folds must stay in lockstep.
+	RegisterJob("conf-combine", func(ctx *engine.Context, spec []byte) ([]byte, error) {
+		n, inParts, outParts, err := parseTestSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		d := engine.WithCodec(engine.Parallelize(ctx, seqInts(n), inParts), varintCodec{jitter: true})
+		counts, err := engine.ReduceByKey("c/rbk", d, outParts,
+			func(x int) int { return x % 23 },
+			func(int) int { return 1 },
+			func(a, b int) int { return a + b },
+			engine.KeyedIntCodec{})
+		if err != nil {
+			return nil, err
+		}
+		kvs, err := engine.Collect("c/collect", counts)
+		if err != nil {
+			return nil, err
+		}
+		census, err := engine.CountByKey("c/census", d, func(x int) int { return x % 7 })
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]int, 0, len(census))
+		for k := range census {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		sum, ok, err := engine.Reduce("c/reduce", d, func(a, b int) int { return a + b })
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "sum=%d ok=%v\n", sum, ok)
+		for _, k := range keys {
+			fmt.Fprintf(&buf, "%d=%d\n", k, census[k])
+		}
+		fmt.Fprintf(&buf, "%v\n", kvs)
+		return buf.Bytes(), nil
+	})
+}
+
+var conformanceJobs = []struct {
+	name string
+	spec []byte
+}{
+	{"conf-shuffle", []byte("3000,5,4")},
+	{"conf-broadcast", []byte("1000,4,3")},
+	{"conf-union", []byte("800,3,4")},
+	{"conf-combine", []byte("2000,6,5")},
+}
+
+// runOn executes a registered job on a constructed context (the inproc and
+// sim backends).
+func runOn(t *testing.T, ctx *engine.Context, job string, spec []byte) []byte {
+	t.Helper()
+	fn, ok := jobFor(job)
+	if !ok {
+		t.Fatalf("job %q not registered", job)
+	}
+	out, err := fn(ctx, spec)
+	if err != nil {
+		t.Fatalf("%s: %v", job, err)
+	}
+	return out
+}
+
+// TestConformanceAcrossBackends: for every conformance job, the in-process
+// reference output must be matched byte for byte by the simulator backend at
+// several slot counts (dispatch order changes with the pool size) and by the
+// multi-process backend at several process counts (ownership splits change
+// which rank runs what).
+func TestConformanceAcrossBackends(t *testing.T) {
+	for _, jb := range conformanceJobs {
+		t.Run(jb.name, func(t *testing.T) {
+			ref := runOn(t, engine.NewContext(4), jb.name, jb.spec)
+			if len(ref) == 0 {
+				t.Fatal("empty reference output")
+			}
+			for _, slots := range []int{1, 2, 4} {
+				if got := runOn(t, engine.NewContext(slots), jb.name, jb.spec); !bytes.Equal(got, ref) {
+					t.Fatalf("inproc slots=%d output differs", slots)
+				}
+				if got := runOn(t, engine.NewContextOn(simexec.New(slots)), jb.name, jb.spec); !bytes.Equal(got, ref) {
+					t.Fatalf("sim slots=%d output differs", slots)
+				}
+			}
+			for _, procs := range []int{1, 2, 3} {
+				res, err := Run(jb.name, jb.spec, Options{Procs: procs, Slots: 2})
+				if err != nil {
+					t.Fatalf("mproc procs=%d: %v", procs, err)
+				}
+				if !bytes.Equal(res.Output, ref) {
+					t.Fatalf("mproc procs=%d output differs:\n%s\nvs\n%s", procs, res.Output, ref)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceRepeatedMproc re-runs the jitteriest job several times at
+// procs=3: bucket frames arrive in a different interleaving every run, the
+// bytes must never change.
+func TestConformanceRepeatedMproc(t *testing.T) {
+	ref := runOn(t, engine.NewContext(4), "conf-shuffle", []byte("2000,6,5"))
+	for trial := 0; trial < 3; trial++ {
+		res, err := Run("conf-shuffle", []byte("2000,6,5"), Options{Procs: 3, Slots: 2})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !bytes.Equal(res.Output, ref) {
+			t.Fatalf("trial %d: output drifted", trial)
+		}
+	}
+}

@@ -1,0 +1,385 @@
+// Package mproc is the multi-process executor backend: W cooperating OS
+// processes run the same registered job function in SPMD lockstep (rank 0 is
+// the driver process itself, ranks 1..W-1 are re-exec'd workers), and shuffle
+// buckets move between ranks as length-prefixed frames over local TCP
+// connections. The serialized blocks crossing the wire are exactly the blocks
+// the engine's codecs produced (internal/colfmt for columnar datasets) — no
+// re-encode at the transport boundary.
+//
+// Because Go closures cannot cross process boundaries, jobs are registered by
+// name (RegisterJob) and workers are the current executable re-exec'd with a
+// worker environment; WorkerMaybe, called first thing in main (or TestMain),
+// hijacks the process when that environment is present. Only []byte job specs
+// and []byte results cross the wire; every rank derives identical control
+// flow from the same spec, which is what keeps the engine's collective
+// sequence numbers aligned.
+package mproc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Frame kinds. A frame is [kind u8][len u32 LE][payload]; payload fields are
+// uvarint-framed (see payload/reader below).
+const (
+	frameHello    = byte(iota + 1) // worker→driver: rank, listen addr
+	frameJob                       // driver→worker: name, procs, slots, peer addrs, spec
+	framePeer                      // dialing worker→accepting worker: own rank
+	frameReady                     // worker→driver: mesh established
+	frameGo                        // driver→worker: start the job
+	frameBucket                    // shuffle bucket: seq, geometry, (m, r), block
+	frameGather                    // worker→driver: seq, n, p, blob
+	frameGathered                  // driver→worker: seq, all n blobs
+	frameDone                      // worker→driver: job done, gob metrics
+	frameFin                       // worker→peer: clean shutdown, expect EOF next
+	frameErr                       // any→any: origin rank, error message
+	frameMax      = frameErr
+)
+
+const (
+	// maxFramePayload caps a frame's declared length. A bucket block is one
+	// encoded partition bucket — far below this — so anything bigger is a
+	// corrupt or hostile header, rejected before any allocation happens.
+	maxFramePayload = 1 << 28 // 256 MiB
+	// readChunk bounds how much readFrame allocates ahead of data actually
+	// received, so a lying length header on a truncated stream costs at most
+	// one chunk (same fix-class as compress.unpackSeq: never size a buffer
+	// from an unvalidated header).
+	readChunk = 1 << 20 // 1 MiB
+	// maxRanks bounds rank/proc counts in control frames.
+	maxRanks = 1 << 12
+)
+
+// frameHeaderLen is the fixed [kind][len u32] prefix.
+const frameHeaderLen = 5
+
+// putFrameHeader writes the frame header for kind and payload length n into
+// hdr.
+func putFrameHeader(hdr *[frameHeaderLen]byte, kind byte, n int) {
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(n))
+}
+
+// readFrame reads one frame. The declared length is validated against
+// maxFramePayload before anything is allocated, and the payload buffer grows
+// chunk-wise with the bytes actually received — a corrupt header can neither
+// over-allocate nor panic, it errors. io.EOF is returned untranslated only
+// on a clean boundary (no partial header).
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("mproc: truncated frame header: %w", err)
+	}
+	kind := hdr[0]
+	if kind == 0 || kind > frameMax {
+		return 0, nil, fmt.Errorf("mproc: unknown frame kind 0x%02x", kind)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[1:]))
+	if n > maxFramePayload {
+		return 0, nil, fmt.Errorf("mproc: frame length %d exceeds limit %d", n, maxFramePayload)
+	}
+	if n == 0 {
+		return kind, nil, nil
+	}
+	first := n
+	if first > readChunk {
+		first = readChunk
+	}
+	payload := make([]byte, 0, first)
+	buf := make([]byte, first)
+	for len(payload) < n {
+		k := n - len(payload)
+		if k > readChunk {
+			k = readChunk
+		}
+		if _, err := io.ReadFull(r, buf[:k]); err != nil {
+			return 0, nil, fmt.Errorf("mproc: truncated frame payload (%d of %d bytes): %w", len(payload), n, err)
+		}
+		payload = append(payload, buf[:k]...)
+	}
+	return kind, payload, nil
+}
+
+// payload builds a frame payload from uvarint-framed fields.
+type payload struct{ b []byte }
+
+func (p *payload) uvarint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	p.b = append(p.b, tmp[:binary.PutUvarint(tmp[:], v)]...)
+}
+
+func (p *payload) bytes(b []byte) {
+	p.uvarint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *payload) str(s string) {
+	p.uvarint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// reader consumes a frame payload field by field. Every accessor
+// bounds-checks before touching the buffer: corrupt input yields an error,
+// never a panic or an allocation sized from untrusted bytes (byte-field
+// results alias the already-received payload).
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("mproc: corrupt frame: "+format, args...)
+	}
+}
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.b = r.b[n:]
+	return v
+}
+
+// intn reads a uvarint bounded by limit (inclusive).
+func (r *reader) intn(what string, limit uint64) int {
+	v := r.uvarint()
+	if r.err == nil && v > limit {
+		r.fail("%s %d exceeds limit %d", what, v, limit)
+	}
+	return int(v)
+}
+
+func (r *reader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)) {
+		r.fail("field length %d exceeds remaining payload %d", n, len(r.b))
+		return nil
+	}
+	out := r.b[:n:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+func (r *reader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.b) == 0 {
+		r.fail("missing byte field")
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("mproc: corrupt frame: %d trailing bytes", len(r.b))
+	}
+	return nil
+}
+
+// --- typed messages ---
+
+type helloMsg struct {
+	rank int
+	addr string
+}
+
+func encodeHello(m helloMsg) []byte {
+	var p payload
+	p.uvarint(uint64(m.rank))
+	p.str(m.addr)
+	return p.b
+}
+
+func parseHello(b []byte) (helloMsg, error) {
+	r := reader{b: b}
+	m := helloMsg{rank: r.intn("rank", maxRanks), addr: r.str()}
+	return m, r.done()
+}
+
+type jobMsg struct {
+	name  string
+	procs int
+	slots int
+	addrs []string
+	spec  []byte
+}
+
+func encodeJob(m jobMsg) []byte {
+	var p payload
+	p.str(m.name)
+	p.uvarint(uint64(m.procs))
+	p.uvarint(uint64(m.slots))
+	p.uvarint(uint64(len(m.addrs)))
+	for _, a := range m.addrs {
+		p.str(a)
+	}
+	p.bytes(m.spec)
+	return p.b
+}
+
+func parseJob(b []byte) (jobMsg, error) {
+	r := reader{b: b}
+	m := jobMsg{name: r.str(), procs: r.intn("procs", maxRanks), slots: r.intn("slots", 1<<16)}
+	n := r.intn("addr count", maxRanks)
+	for i := 0; i < n && r.err == nil; i++ {
+		m.addrs = append(m.addrs, r.str())
+	}
+	m.spec = r.bytes()
+	return m, r.done()
+}
+
+func encodePeer(rank int) []byte {
+	var p payload
+	p.uvarint(uint64(rank))
+	return p.b
+}
+
+func parsePeer(b []byte) (int, error) {
+	r := reader{b: b}
+	rank := r.intn("rank", maxRanks)
+	return rank, r.done()
+}
+
+type bucketMsg struct {
+	seq     uint64
+	in, out int
+	m, r    int
+	empty   bool
+	block   []byte
+}
+
+func encodeBucket(m bucketMsg) []byte {
+	var p payload
+	p.uvarint(m.seq)
+	p.uvarint(uint64(m.in))
+	p.uvarint(uint64(m.out))
+	p.uvarint(uint64(m.m))
+	p.uvarint(uint64(m.r))
+	if m.empty {
+		p.b = append(p.b, 1)
+	} else {
+		p.b = append(p.b, 0)
+		p.bytes(m.block)
+	}
+	return p.b
+}
+
+// maxPartitions bounds shuffle geometry in bucket frames (sizes the local
+// block table, so it must be validated before allocation).
+const maxPartitions = 1 << 20
+
+func parseBucket(b []byte) (bucketMsg, error) {
+	r := reader{b: b}
+	m := bucketMsg{
+		seq: r.uvarint(),
+		in:  r.intn("map count", maxPartitions),
+		out: r.intn("reduce count", maxPartitions),
+	}
+	m.m = r.intn("map index", maxPartitions)
+	m.r = r.intn("reduce index", maxPartitions)
+	m.empty = r.byte() != 0
+	if !m.empty {
+		m.block = r.bytes()
+	}
+	if r.err == nil {
+		if m.in < 1 || m.out < 1 || m.m >= m.in || m.r >= m.out || m.in*m.out > maxPartitions {
+			r.fail("bucket (%d,%d) outside %dx%d geometry", m.m, m.r, m.in, m.out)
+		}
+	}
+	return m, r.done()
+}
+
+type gatherMsg struct {
+	seq  uint64
+	n    int
+	p    int
+	blob []byte
+}
+
+func encodeGather(m gatherMsg) []byte {
+	var p payload
+	p.uvarint(m.seq)
+	p.uvarint(uint64(m.n))
+	p.uvarint(uint64(m.p))
+	p.bytes(m.blob)
+	return p.b
+}
+
+func parseGather(b []byte) (gatherMsg, error) {
+	r := reader{b: b}
+	m := gatherMsg{seq: r.uvarint(), n: r.intn("partition count", maxPartitions)}
+	m.p = r.intn("partition", maxPartitions)
+	m.blob = r.bytes()
+	if r.err == nil && (m.n < 1 || m.p >= m.n) {
+		r.fail("gather partition %d outside %d", m.p, m.n)
+	}
+	return m, r.done()
+}
+
+type gatheredMsg struct {
+	seq   uint64
+	blobs [][]byte
+}
+
+func encodeGathered(m gatheredMsg) []byte {
+	var p payload
+	p.uvarint(m.seq)
+	p.uvarint(uint64(len(m.blobs)))
+	for _, b := range m.blobs {
+		p.bytes(b)
+	}
+	return p.b
+}
+
+func parseGathered(b []byte) (gatheredMsg, error) {
+	r := reader{b: b}
+	m := gatheredMsg{seq: r.uvarint()}
+	n := r.intn("blob count", maxPartitions)
+	// Blobs are appended as parsed (each consumes ≥1 payload byte), never
+	// pre-allocated from the declared count.
+	for i := 0; i < n && r.err == nil; i++ {
+		m.blobs = append(m.blobs, r.bytes())
+	}
+	return m, r.done()
+}
+
+type errMsg struct {
+	origin int
+	msg    string
+}
+
+func encodeErr(m errMsg) []byte {
+	var p payload
+	p.uvarint(uint64(m.origin))
+	p.str(m.msg)
+	return p.b
+}
+
+func parseErr(b []byte) (errMsg, error) {
+	r := reader{b: b}
+	m := errMsg{origin: r.intn("rank", maxRanks), msg: r.str()}
+	return m, r.done()
+}

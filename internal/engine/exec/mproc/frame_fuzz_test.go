@@ -1,0 +1,123 @@
+package mproc
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+// frame wraps body in a wire frame for the seed corpus.
+func frame(kind byte, body []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	putFrameHeader(&hdr, kind, len(body))
+	return append(hdr[:], body...)
+}
+
+// FuzzFrameDecode drives the full untrusted-input surface: the frame reader
+// (length header validated before any allocation) and every payload parser
+// (bounds-checked field readers). Nothing here may panic or allocate
+// proportionally to a lying header — same fix-class as compress.unpackSeq.
+func FuzzFrameDecode(f *testing.F) {
+	// Valid encodings of every message kind.
+	f.Add(frame(frameHello, encodeHello(helloMsg{rank: 2, addr: "127.0.0.1:4242"})))
+	f.Add(frame(frameJob, encodeJob(jobMsg{name: "wgs", procs: 4, slots: 8,
+		addrs: []string{"", "a:1", "b:2", "c:3"}, spec: []byte("spec")})))
+	f.Add(frame(framePeer, encodePeer(3)))
+	f.Add(frame(frameReady, nil))
+	f.Add(frame(frameGo, nil))
+	f.Add(frame(frameBucket, encodeBucket(bucketMsg{seq: 7, in: 3, out: 2, m: 1, r: 1, block: []byte{1, 2, 3}})))
+	f.Add(frame(frameBucket, encodeBucket(bucketMsg{seq: 7, in: 3, out: 2, m: 2, r: 0, empty: true})))
+	f.Add(frame(frameGather, encodeGather(gatherMsg{seq: 9, n: 4, p: 2, blob: []byte("blob")})))
+	f.Add(frame(frameGathered, encodeGathered(gatheredMsg{seq: 9, blobs: [][]byte{{1}, nil, {2, 3}}})))
+	f.Add(frame(frameDone, []byte{0xff, 0x01}))
+	f.Add(frame(frameFin, nil))
+	f.Add(frame(frameErr, encodeErr(errMsg{origin: 1, msg: "boom"})))
+	// Hostile headers: lying lengths, truncation, geometry overflow.
+	f.Add([]byte{frameBucket, 0xff, 0xff, 0xff, 0xff})       // 4 GiB claim, no data
+	f.Add([]byte{frameBucket, 0x10, 0x00, 0x00, 0x10, 0x01}) // length >> payload
+	f.Add(frame(frameBucket, encodeBucket(bucketMsg{seq: 1, in: 1 << 19, out: 1 << 19, m: 0, r: 0, empty: true})))
+	f.Add(frame(0x7f, []byte("unknown kind")))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, body, err := readFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		switch kind {
+		case frameHello:
+			_, _ = parseHello(body)
+		case frameJob:
+			_, _ = parseJob(body)
+		case framePeer:
+			_, _ = parsePeer(body)
+		case frameBucket:
+			if m, err := parseBucket(body); err == nil {
+				// The parsed geometry is what sizes exchange state: re-check
+				// the invariants the transport relies on.
+				if m.in < 1 || m.out < 1 || m.m >= m.in || m.r >= m.out || m.in*m.out > maxPartitions {
+					t.Fatalf("parseBucket accepted bad geometry: %+v", m)
+				}
+			}
+		case frameGather:
+			if m, err := parseGather(body); err == nil {
+				if m.n < 1 || m.p >= m.n || m.n > maxPartitions {
+					t.Fatalf("parseGather accepted bad shape: %+v", m)
+				}
+			}
+		case frameGathered:
+			_, _ = parseGathered(body)
+		case frameDone:
+			var metrics = struct{}{}
+			_ = metrics
+		case frameErr:
+			_, _ = parseErr(body)
+		}
+	})
+}
+
+// TestFrameRoundTrip pins the exact wire encodings surviving a round trip.
+func TestFrameRoundTrip(t *testing.T) {
+	bm := bucketMsg{seq: 42, in: 5, out: 3, m: 4, r: 2, block: []byte{9, 8, 7}}
+	var buf bytes.Buffer
+	c := conn{c: nopConn{&buf}}
+	if err := c.writeFrame(frameBucket, encodeBucket(bm)); err != nil {
+		t.Fatal(err)
+	}
+	kind, body, err := readFrame(&buf)
+	if err != nil || kind != frameBucket {
+		t.Fatalf("kind %d err %v", kind, err)
+	}
+	got, err := parseBucket(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.seq != bm.seq || got.in != bm.in || got.out != bm.out || got.m != bm.m || got.r != bm.r || !bytes.Equal(got.block, bm.block) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, bm)
+	}
+}
+
+// TestFrameLengthRejectedBeforeAlloc: a header claiming more than the payload
+// cap errors immediately; a header claiming less than it ships errors after
+// at most one chunk.
+func TestFrameLengthRejectedBeforeAlloc(t *testing.T) {
+	huge := []byte{frameBucket, 0xff, 0xff, 0xff, 0x7f} // ~2 GiB declared
+	if _, _, err := readFrame(bytes.NewReader(huge)); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+	lying := append([]byte{frameBucket, 0x00, 0x00, 0x10, 0x00}, make([]byte, 64)...) // 1 MiB declared, 64 B shipped
+	if _, _, err := readFrame(bytes.NewReader(lying)); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+// nopConn adapts a buffer to net.Conn for writeFrame in tests.
+type nopConn struct{ *bytes.Buffer }
+
+func (nopConn) Close() error                       { return nil }
+func (nopConn) LocalAddr() net.Addr                { return nil }
+func (nopConn) RemoteAddr() net.Addr               { return nil }
+func (nopConn) SetDeadline(t time.Time) error      { return nil }
+func (nopConn) SetReadDeadline(t time.Time) error  { return nil }
+func (nopConn) SetWriteDeadline(t time.Time) error { return nil }

@@ -1,0 +1,322 @@
+package mproc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gpf-go/gpf/internal/engine"
+)
+
+// TestMain hands the process over to workerMain when this test binary is the
+// re-exec'd worker (jobs are registered in init, so they exist by now);
+// otherwise it runs the tests normally.
+func TestMain(m *testing.M) {
+	WorkerMaybe()
+	os.Exit(m.Run())
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// varintCodec is a compact deterministic int serializer for test datasets.
+type varintCodec struct {
+	jitter bool // sleep randomly per block: adversarial publish order
+}
+
+func (varintCodec) Name() string { return "test-varint" }
+
+func (c varintCodec) Marshal(items []int) ([]byte, error) {
+	if c.jitter {
+		time.Sleep(time.Duration(rand.Intn(3)) * time.Millisecond)
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	buf := make([]byte, 0, 2+len(items))
+	buf = append(buf, tmp[:binary.PutUvarint(tmp[:], uint64(len(items)))]...)
+	for _, v := range items {
+		buf = append(buf, tmp[:binary.PutVarint(tmp[:], int64(v))]...)
+	}
+	return buf, nil
+}
+
+func (varintCodec) Unmarshal(data []byte) ([]int, error) {
+	n, read := binary.Uvarint(data)
+	if read <= 0 {
+		return nil, fmt.Errorf("test-varint: bad count")
+	}
+	data = data[read:]
+	out := make([]int, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, r := binary.Varint(data)
+		if r <= 0 {
+			return nil, fmt.Errorf("test-varint: truncated")
+		}
+		data = data[r:]
+		out = append(out, int(v))
+	}
+	return out, nil
+}
+
+// parseTestSpec decodes the "n,inParts,outParts" spec the test jobs use.
+func parseTestSpec(spec []byte) (n, in, out int, err error) {
+	parts := strings.Split(string(spec), ",")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad spec %q", spec)
+	}
+	vals := make([]int, 3)
+	for i, s := range parts {
+		if vals[i], err = strconv.Atoi(s); err != nil {
+			return 0, 0, 0, err
+		}
+	}
+	return vals[0], vals[1], vals[2], nil
+}
+
+func init() {
+	// test-wordcount: shuffle + map-side-combined reduceByKey + collect +
+	// count, with a jittery codec so bucket publish order varies per run. The
+	// output bytes must be identical whatever the backend or schedule.
+	RegisterJob("test-wordcount", func(ctx *engine.Context, spec []byte) ([]byte, error) {
+		n, inParts, outParts, err := parseTestSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		d := engine.WithCodec(engine.Parallelize(ctx, seqInts(n), inParts), varintCodec{jitter: true})
+		shuf, err := engine.PartitionBy("t/shuffle", d, outParts, func(x int) int { return x * 7 })
+		if err != nil {
+			return nil, err
+		}
+		counts, err := engine.ReduceByKey("t/rbk", shuf, outParts,
+			func(x int) int { return x % 17 },
+			func(int) int { return 1 },
+			func(a, b int) int { return a + b },
+			engine.KeyedIntCodec{})
+		if err != nil {
+			return nil, err
+		}
+		kvs, err := engine.Collect("t/collect", counts)
+		if err != nil {
+			return nil, err
+		}
+		total, err := engine.Count("t/count", shuf)
+		if err != nil {
+			return nil, err
+		}
+		var buf bytes.Buffer
+		fmt.Fprintf(&buf, "total=%d\n", total)
+		for _, kv := range kvs {
+			fmt.Fprintf(&buf, "%d=%d\n", kv.Key, kv.Val)
+		}
+		return buf.Bytes(), nil
+	})
+
+	// test-crash: rank 1 kills itself mid-map (while routing an item its own
+	// partition holds). Every other rank must unwind with a clean error.
+	RegisterJob("test-crash", func(ctx *engine.Context, spec []byte) ([]byte, error) {
+		d := engine.Parallelize(ctx, seqInts(200), 4)
+		out, err := engine.PartitionBy("t/crash", d, 4, func(x int) int {
+			if x == 60 && ctx.Executor().Rank() == 1 {
+				os.Exit(3) // simulated hard crash: no ERR frame, just EOF
+			}
+			return x
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := engine.Collect("t/collect", out); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	})
+
+	// test-maperr: a map task fails with a real error on whichever rank owns
+	// partition 1. The root cause must reach the driver verbatim.
+	RegisterJob("test-maperr", func(ctx *engine.Context, spec []byte) ([]byte, error) {
+		d := engine.Parallelize(ctx, seqInts(100), 4)
+		mapped, err := engine.MapPartitions("t/boom", d, engine.Serializer[int](varintCodec{}), func(p int, items []int) ([]int, error) {
+			if p == 1 {
+				return nil, errors.New("injected map failure")
+			}
+			return items, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if _, err := engine.Collect("t/collect", mapped); err != nil {
+			return nil, err
+		}
+		return []byte("ok"), nil
+	})
+
+	// test-bench: a plain shuffle sized by the spec, for the transport
+	// benchmark.
+	RegisterJob("test-bench", func(ctx *engine.Context, spec []byte) ([]byte, error) {
+		n, inParts, outParts, err := parseTestSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		d := engine.WithCodec(engine.Parallelize(ctx, seqInts(n), inParts), varintCodec{})
+		shuf, err := engine.PartitionBy("b/shuffle", d, outParts, func(x int) int { return x*2654435761 ^ x>>7 })
+		if err != nil {
+			return nil, err
+		}
+		total, err := engine.Count("b/count", shuf)
+		if err != nil {
+			return nil, err
+		}
+		return []byte(strconv.Itoa(total)), nil
+	})
+}
+
+// TestMprocMatchesInproc is the backend-identity property: the same job run
+// in one process and across 2 and 3 processes must return byte-identical
+// output (and move the same shuffle volume), despite the jitter codec
+// randomizing bucket arrival order.
+func TestMprocMatchesInproc(t *testing.T) {
+	spec := []byte("4000,5,7")
+	ref, err := Run("test-wordcount", spec, Options{Procs: 1, Slots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Output) == 0 {
+		t.Fatal("empty reference output")
+	}
+	for _, procs := range []int{2, 3} {
+		got, err := Run("test-wordcount", spec, Options{Procs: procs, Slots: 2})
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		if !bytes.Equal(got.Output, ref.Output) {
+			t.Fatalf("procs=%d: output differs from in-process run:\n%s\nvs\n%s", procs, got.Output, ref.Output)
+		}
+		if got.Metrics.TotalShuffleBytes() != ref.Metrics.TotalShuffleBytes() {
+			t.Fatalf("procs=%d: shuffle bytes %d != in-process %d", procs,
+				got.Metrics.TotalShuffleBytes(), ref.Metrics.TotalShuffleBytes())
+		}
+	}
+}
+
+// TestMprocMergedMetricsCoverEveryTask: after the cross-rank merge, every
+// task of every stage carries the record of the rank that ran it — no
+// zero-valued placeholder survives.
+func TestMprocMergedMetricsCoverEveryTask(t *testing.T) {
+	res, err := Run("test-wordcount", []byte("2000,4,6"), Options{Procs: 2, Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.Metrics.Stages {
+		for _, task := range st.Tasks {
+			if !task.Ran {
+				t.Fatalf("stage %q task %d not covered by any rank after merge", st.Name, task.Partition)
+			}
+		}
+	}
+	if res.Metrics.TotalShuffleBytes() == 0 {
+		t.Fatal("merged metrics lost shuffle bytes")
+	}
+}
+
+// TestMprocWorkerCrash kills rank 1 mid-shuffle with no farewell frame: the
+// driver must return a clean error naming the lost worker, leak no
+// goroutines, and leave the transport reusable for a following run.
+func TestMprocWorkerCrash(t *testing.T) {
+	base := runtime.NumGoroutine()
+	_, err := Run("test-crash", nil, Options{Procs: 2, Slots: 2})
+	if err == nil {
+		t.Fatal("expected error from crashed worker")
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("error does not name the lost worker: %v", err)
+	}
+	waitGoroutinesBelow(t, base)
+
+	// The crash must not poison the process: a fresh run on a new mesh (new
+	// sockets, new workers) succeeds.
+	if _, err := Run("test-wordcount", []byte("500,3,3"), Options{Procs: 2, Slots: 2}); err != nil {
+		t.Fatalf("run after crash: %v", err)
+	}
+}
+
+// TestMprocWorkerCrashThreeProcs: with a third rank blocked in the same
+// stage, the crash must unwind it too (ERR/EOF propagation across the mesh),
+// not just the driver.
+func TestMprocWorkerCrashThreeProcs(t *testing.T) {
+	base := runtime.NumGoroutine()
+	_, err := Run("test-crash", nil, Options{Procs: 3, Slots: 2})
+	if err == nil {
+		t.Fatal("expected error from crashed worker")
+	}
+	waitGoroutinesBelow(t, base)
+}
+
+// TestMprocWorkerMapError: a genuine task error on a worker rank travels to
+// the driver as the root cause, not as a masked cancellation.
+func TestMprocWorkerMapError(t *testing.T) {
+	base := runtime.NumGoroutine()
+	_, err := Run("test-maperr", nil, Options{Procs: 2, Slots: 2})
+	if err == nil {
+		t.Fatal("expected injected failure")
+	}
+	if !strings.Contains(err.Error(), "injected map failure") {
+		t.Fatalf("root cause masked: %v", err)
+	}
+	waitGoroutinesBelow(t, base)
+}
+
+// TestMprocUnknownJob fails fast without forking anything.
+func TestMprocUnknownJob(t *testing.T) {
+	if _, err := Run("no-such-job", nil, Options{Procs: 2}); err == nil {
+		t.Fatal("expected unknown-job error")
+	}
+}
+
+// waitGoroutinesBelow polls until the goroutine count drops back to the
+// baseline (read loops joined, child waiters reaped) — the engine package's
+// leak-check pattern.
+func waitGoroutinesBelow(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// BenchmarkShuffleTransport measures one full shuffle job per iteration:
+// procs=1 is the shared-memory path, procs>1 pays fork + mesh + wire
+// transport, so the delta is the real cost of moving bytes between
+// processes.
+func BenchmarkShuffleTransport(b *testing.B) {
+	spec := []byte("200000,8,8")
+	for _, procs := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("procs=%d", procs), func(b *testing.B) {
+			var shuffled int64
+			for i := 0; i < b.N; i++ {
+				res, err := Run("test-bench", spec, Options{Procs: procs, Slots: 2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				shuffled = res.Metrics.TotalShuffleBytes()
+			}
+			b.ReportMetric(float64(shuffled), "shuffle-bytes/op")
+		})
+	}
+}

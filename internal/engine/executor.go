@@ -1,0 +1,127 @@
+package engine
+
+// The executor seam abstracts HOW the engine runs a job: how many task slots
+// this process owns, how many cooperating processes share the job, which rank
+// runs which task, how shuffle buckets travel from map to reduce tasks, and
+// how action results come back together. Three implementations exist:
+//
+//   - the in-process pool (this file): one process, shared memory, channel
+//     sends for bucket readiness — the single-node fast path (the Sparkle
+//     tradeoff: when everything fits one node, shared memory beats sockets);
+//   - the multi-process backend (internal/engine/exec/mproc): W cooperating
+//     OS processes running the same registered job in SPMD lockstep, moving
+//     buckets as length-prefixed frames over local TCP sockets;
+//   - the simulator oracle (internal/engine/exec/simexec): executes like the
+//     in-process pool but doubles as a planning oracle, replaying the
+//     recorded trace through the cluster model to predict scaling.
+//
+// The SPMD contract every distributed executor relies on: all ranks run the
+// same job function deterministically, so they issue the same collective
+// operations (shuffles, gathers) in the same order. The engine numbers
+// collectives with Context.nextSeq; matching sequence numbers across ranks is
+// what lets bucket and gather frames find their stage without any global
+// scheduler. Task ownership is a pure function of the task index (canonically
+// task % Procs), so no rank ever asks another what to run.
+
+// Executor is the execution backend of a Context.
+type Executor interface {
+	// Name identifies the backend ("inproc", "mproc", "sim") in metrics and
+	// experiment output.
+	Name() string
+	// Slots is the task-slot parallelism of THIS process (the worker-pool
+	// size a Context schedules onto).
+	Slots() int
+	// Procs is the number of cooperating processes sharing the job; 1 means
+	// purely in-process.
+	Procs() int
+	// Rank is this process's index in [0, Procs); rank 0 is the driver.
+	Rank() int
+	// Exchange creates the bucket transport for one shuffle stage: in map
+	// tasks, out reduce partitions. seq is the collective sequence number
+	// (identical across ranks for the same stage).
+	Exchange(seq uint64, in, out int) Exchange
+	// Gather allgathers per-partition action blobs: each rank fills owned[p]
+	// for the partitions it owns (per ownerOf; nil means canonical p%Procs)
+	// and receives the complete n-slot slice back. With Procs()==1 it returns
+	// owned unchanged.
+	Gather(seq uint64, n int, ownerOf func(int) int, owned [][]byte) ([][]byte, error)
+	// Failed returns a channel closed when the job has failed globally (a
+	// remote rank errored or a worker connection was lost); nil when the
+	// backend cannot fail remotely. Err reports the failure cause.
+	Failed() <-chan struct{}
+	Err() error
+}
+
+// Exchange is the bucket transport of one shuffle stage. Publish stores
+// bucket (m, r)'s encoded block (nil = empty bucket) and makes m arrive on
+// reduce r's Notify channel — for a remote owner of r, as a bucket frame over
+// the wire; locally, as a buffered channel send. The store happens-before
+// the notification, so Block(m, r) is safe after receiving m.
+type Exchange interface {
+	Publish(m, r int, block []byte)
+	// Notify returns reduce r's readiness channel, carrying map indices in
+	// publication order. Only the rank that owns r receives on it.
+	Notify(r int) <-chan int
+	// Block returns the stored block for (m, r); call only after m arrived on
+	// Notify(r). nil means the bucket was empty.
+	Block(m, r int) []byte
+	// Failed/Err mirror the executor-level failure channel for reduce tasks
+	// blocked mid-stage.
+	Failed() <-chan struct{}
+	Err() error
+	// Close releases the stage's transport state once the local tasks are
+	// done with it.
+	Close()
+}
+
+// localExec is the in-process backend: one process, Slots() task slots.
+type localExec struct{ slots int }
+
+func (e *localExec) Name() string            { return "inproc" }
+func (e *localExec) Slots() int              { return e.slots }
+func (e *localExec) Procs() int              { return 1 }
+func (e *localExec) Rank() int               { return 0 }
+func (e *localExec) Err() error              { return nil }
+func (e *localExec) Failed() <-chan struct{} { return nil }
+
+func (e *localExec) Exchange(_ uint64, in, out int) Exchange {
+	return NewLocalExchange(in, out)
+}
+
+func (e *localExec) Gather(_ uint64, _ int, _ func(int) int, owned [][]byte) ([][]byte, error) {
+	return owned, nil
+}
+
+// localExchange is the shared-memory bucket transport: a flat block table
+// plus one buffered readiness channel per reduce partition. It is exported
+// through NewLocalExchange so out-of-package executors (simexec, and mproc's
+// own-rank fast path) can reuse it.
+type localExchange struct {
+	in, out int
+	blocks  [][]byte // blocks[m*out+r]; the store happens-before the notify send
+	notify  []chan int
+}
+
+// NewLocalExchange builds the in-process Exchange for a shuffle stage with
+// the given geometry. Publish never blocks: each notify channel is buffered
+// to the map-task count, and every (m, r) pair is published exactly once.
+func NewLocalExchange(in, out int) Exchange {
+	ex := &localExchange{in: in, out: out, blocks: make([][]byte, in*out), notify: make([]chan int, out)}
+	for r := range ex.notify {
+		ex.notify[r] = make(chan int, in)
+	}
+	return ex
+}
+
+func (ex *localExchange) Publish(m, r int, block []byte) {
+	ex.blocks[m*ex.out+r] = block
+	ex.notify[r] <- m // buffered to in: never blocks
+}
+
+func (ex *localExchange) Notify(r int) <-chan int { return ex.notify[r] }
+
+func (ex *localExchange) Block(m, r int) []byte { return ex.blocks[m*ex.out+r] }
+
+func (ex *localExchange) Failed() <-chan struct{} { return nil }
+func (ex *localExchange) Err() error              { return nil }
+func (ex *localExchange) Close()                  {}

@@ -101,6 +101,7 @@ func lazyNarrow[T, U any](name string, d *Dataset[T], codec Serializer[U], fn fu
 	return &Dataset[U]{
 		ctx:   d.ctx,
 		codec: codec,
+		owner: d.owner, // narrow: output p derives from input p, same rank
 		plan: &lineage[U]{
 			nparts:   d.NumPartitions(),
 			ops:      chainOps(d.lineageOps(), name),
@@ -129,6 +130,7 @@ func lazyZip2[A, B, U any](name string, a *Dataset[A], b *Dataset[B], codec Seri
 	return &Dataset[U]{
 		ctx:   a.ctx,
 		codec: codec,
+		owner: a.owner, // zips require co-partitioned (hence co-owned) inputs
 		plan: &lineage[U]{
 			nparts:   a.NumPartitions(),
 			ops:      chainOps(append(append([]string(nil), a.lineageOps()...), b.lineageOps()...), name),
@@ -163,6 +165,7 @@ func lazyZip3[A, B, C, U any](name string, a *Dataset[A], b *Dataset[B], c *Data
 	return &Dataset[U]{
 		ctx:   a.ctx,
 		codec: codec,
+		owner: a.owner,
 		plan: &lineage[U]{
 			nparts:   a.NumPartitions(),
 			ops:      chainOps(ops, name),
@@ -223,11 +226,14 @@ func runFused[T any](d *Dataset[T]) error {
 	} else {
 		d.parts = make([][]T, n)
 	}
+	if d.ctx.procs() > 1 {
+		d.resident = make([]bool, n)
+	}
 	stage := StageMetrics{Name: pl.fusedName(), Kind: StageNarrow, FusedOps: len(pl.ops)}
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = d.ctx.runTasksLPT(n, pl.sizeHint, func(p int, tm *TaskMetrics) error {
+		tms, err = d.ctx.runTasksOwned(n, pl.sizeHint, d.ownerOf, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
 			out, err := pl.compute(p, tm)
 			if err != nil {

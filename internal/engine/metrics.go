@@ -49,6 +49,14 @@ type TaskMetrics struct {
 	// columns a ReadingFields mask excluded, left untouched by the columnar
 	// decoder. Always zero for non-projectable codecs.
 	PrunedBytes int64
+	// Ran marks a task this process actually executed. Under a multi-process
+	// executor each rank records zero-valued placeholders for the tasks its
+	// siblings own; MergeRanks uses the flag to splice every task's record
+	// from the rank that ran it. Always false on single-process runs (there
+	// is nothing to merge).
+	Ran bool
+	// Rank is the process that executed the task (meaningful only when Ran).
+	Rank int
 }
 
 // StageMetrics records one stage.
@@ -165,6 +173,32 @@ func (m Metrics) clone() Metrics {
 
 // NumStages returns the stage count (Table 4's "Stage Num" row).
 func (m Metrics) NumStages() int { return len(m.Stages) }
+
+// MergeRanks merges the metrics of sibling SPMD ranks into this (rank 0)
+// snapshot. All ranks of a job run the same deterministic driver program, so
+// they record the same stage sequence with the same task counts; each task's
+// record is taken from the rank whose Ran flag says it executed the task,
+// and per-process GC pause deltas are summed into a cluster total. Stage
+// scalars measured identically everywhere (DriverTime, PipelineOverlap) keep
+// rank 0's values.
+func (m Metrics) MergeRanks(others ...Metrics) Metrics {
+	out := m.clone()
+	for _, o := range others {
+		for i := range out.Stages {
+			if i >= len(o.Stages) {
+				break
+			}
+			ls, os := &out.Stages[i], &o.Stages[i]
+			for j := range ls.Tasks {
+				if j < len(os.Tasks) && !ls.Tasks[j].Ran && os.Tasks[j].Ran {
+					ls.Tasks[j] = os.Tasks[j]
+				}
+			}
+			ls.GCPause += os.GCPause
+		}
+	}
+	return out
+}
 
 // TotalShuffleBytes sums read+write shuffle bytes over all stages (Table 4's
 // "Shuffle Data" row counts data moved through the shuffle).

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/binary"
 	"fmt"
 	"time"
 )
@@ -28,11 +29,12 @@ func runNarrow[T, U any](name string, d *Dataset[T], codec Serializer[U], fn fun
 		return nil, err
 	}
 	res := newResult(d.ctx, codec, d.NumPartitions())
+	res.owner = d.owner // narrow: output p derives from input p, same rank
 	stage := StageMetrics{Name: name, Kind: StageNarrow}
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = d.ctx.runTasksLPT(d.NumPartitions(), d.partitionSizeHint, func(p int, tm *TaskMetrics) error {
+		tms, err = d.ctx.runTasksOwned(d.NumPartitions(), d.partitionSizeHint, d.ownerOf, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
 			in, err := d.partition(p, tm)
 			if err != nil {
@@ -159,7 +161,7 @@ func Collect[T any](name string, d *Dataset[T]) ([]T, error) {
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = d.ctx.runTasksLPT(d.NumPartitions(), d.partitionSizeHint, func(p int, tm *TaskMetrics) error {
+		tms, err = d.ctx.runTasksOwned(d.NumPartitions(), d.partitionSizeHint, d.ownerOf, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
 			items, err := d.partition(p, tm)
 			if err != nil {
@@ -175,6 +177,9 @@ func Collect[T any](name string, d *Dataset[T]) ([]T, error) {
 	stage.Tasks = tms
 	stage.GCPause = gc
 	driverStart := time.Now()
+	if err == nil {
+		err = allgatherParts(d, parts)
+	}
 	var out []T
 	if err == nil {
 		total := 0
@@ -212,7 +217,7 @@ func Reduce[T any](name string, d *Dataset[T], fn func(T, T) T) (T, bool, error)
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = d.ctx.runTasksLPT(d.NumPartitions(), d.partitionSizeHint, func(p int, tm *TaskMetrics) error {
+		tms, err = d.ctx.runTasksOwned(d.NumPartitions(), d.partitionSizeHint, d.ownerOf, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
 			items, err := d.partition(p, tm)
 			if err != nil {
@@ -234,6 +239,28 @@ func Reduce[T any](name string, d *Dataset[T], fn func(T, T) T) (T, bool, error)
 	stage.Tasks = tms
 	stage.GCPause = gc
 	driverStart := time.Now()
+	if err == nil && d.ctx.procs() > 1 {
+		// Allgather the per-partition partials (as 0- or 1-item slices through
+		// the codec) so every rank folds the identical sequence below.
+		pparts := make([][]T, len(partials))
+		for p := range partials {
+			if partials[p].ok {
+				pparts[p] = []T{partials[p].v}
+			} else {
+				pparts[p] = []T{}
+			}
+		}
+		err = allgatherParts(d, pparts)
+		if err == nil {
+			for p := range partials {
+				if len(pparts[p]) > 0 {
+					partials[p] = partial{v: pparts[p][0], ok: true}
+				} else {
+					partials[p] = partial{}
+				}
+			}
+		}
+	}
 	var acc T
 	found := false
 	if err == nil {
@@ -270,7 +297,7 @@ func Count[T any](name string, d *Dataset[T]) (int, error) {
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = d.ctx.runTasksLPT(src.NumPartitions(), src.partitionSizeHint, func(p int, tm *TaskMetrics) error {
+		tms, err = d.ctx.runTasksOwned(src.NumPartitions(), src.partitionSizeHint, src.ownerOf, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
 			items, err := src.partition(p, tm)
 			if err != nil {
@@ -285,6 +312,32 @@ func Count[T any](name string, d *Dataset[T]) (int, error) {
 	})
 	stage.Tasks = tms
 	stage.GCPause = gc
+	if err == nil && d.ctx.procs() > 1 {
+		rank := d.ctx.rank()
+		owned := make([][]byte, len(counts))
+		for p := range counts {
+			if src.ownerOf(p) != rank {
+				continue
+			}
+			var tmp [binary.MaxVarintLen64]byte
+			owned[p] = append([]byte(nil), tmp[:binary.PutUvarint(tmp[:], uint64(counts[p]))]...)
+		}
+		var blobs [][]byte
+		blobs, err = d.ctx.allgatherBlobs(len(counts), src.ownerOf, owned)
+		if err == nil {
+			for p := range counts {
+				if src.ownerOf(p) == rank {
+					continue
+				}
+				v, read := binary.Uvarint(blobs[p])
+				if read <= 0 {
+					err = fmt.Errorf("engine: stage %q: corrupt gathered count for partition %d", name, p)
+					break
+				}
+				counts[p] = int(v)
+			}
+		}
+	}
 	d.ctx.recordStage(stage)
 	if err != nil {
 		return 0, err

@@ -39,10 +39,14 @@ type shuffleCore[B, O any] struct {
 	name    string
 	in, out int
 	mapHint func(m int) int64
-	mapTask func(m int, tm *TaskMetrics, emit func(r int, block []byte)) error
-	decode  func(r int, block []byte, tm *TaskMetrics) (B, error)
-	merge   func(r int, decoded []B, tm *TaskMetrics) ([]O, error)
-	res     *Dataset[O]
+	// mapOwner maps a map-task index to the rank owning its input partition
+	// (nil = canonical m % procs). Reduce ownership is always canonical: the
+	// output dataset is freshly partitioned.
+	mapOwner func(m int) int
+	mapTask  func(m int, tm *TaskMetrics, emit func(r int, block []byte)) error
+	decode   func(r int, block []byte, tm *TaskMetrics) (B, error)
+	merge    func(r int, decoded []B, tm *TaskMetrics) ([]O, error)
+	res      *Dataset[O]
 }
 
 func (sc *shuffleCore[B, O]) run() error {
@@ -50,7 +54,11 @@ func (sc *shuffleCore[B, O]) run() error {
 	// degenerates to all-maps-then-all-reduces either way, so take the
 	// barrier path outright and skip the notification machinery (whose
 	// per-task overhead would otherwise pollute single-worker traces).
-	if sc.ctx.DisablePipelinedShuffle || sc.ctx.workers == 1 {
+	// Multi-process runs always take the pipelined path: the Exchange is the
+	// only transport that moves buckets between ranks, so the barrier
+	// strategy (a pure shared-memory shortcut) is ineligible whatever the
+	// ablation flags say.
+	if sc.ctx.procs() == 1 && (sc.ctx.DisablePipelinedShuffle || sc.ctx.workers == 1) {
 		return sc.runBarrier()
 	}
 	return sc.runPipelined()
@@ -170,19 +178,32 @@ func (sc *shuffleCore[B, O]) runBarrier() error {
 // and the caller discards the result dataset on error — no partial output.
 func (sc *shuffleCore[B, O]) runPipelined() error {
 	in, out := sc.in, sc.out
-	buckets := make([][][]byte, in)
+	ctx := sc.ctx
+	procs, rank := ctx.procs(), ctx.rank()
+	mapOwned := func(m int) bool {
+		if procs == 1 {
+			return true
+		}
+		if sc.mapOwner != nil {
+			return sc.mapOwner(m) == rank
+		}
+		return m%procs == rank
+	}
+	redOwned := func(r int) bool { return procs == 1 || r%procs == rank }
+	// The exchange is the bucket transport for this stage: in-process it is
+	// the shared block table + notify channels; under mproc, publishes to a
+	// remote-owned reduce partition leave as bucket frames and arrivals from
+	// sibling ranks feed the same notify channels the local path uses.
+	ex := ctx.exec.Exchange(ctx.nextSeq(), in, out)
+	defer ex.Close()
 	mapTMs := make([]TaskMetrics, in)
 	redTMs := make([]TaskMetrics, out)
 	mapErrs := make([]error, in)
 	redErrs := make([]error, out)
-	notify := make([]chan int, out)
-	for r := range notify {
-		notify[r] = make(chan int, in)
-	}
 	cancel := make(chan struct{})
 	var cancelOnce sync.Once
 	abort := func() { cancelOnce.Do(func() { close(cancel) }) }
-	sem := make(chan struct{}, sc.ctx.workers)
+	sem := make(chan struct{}, ctx.workers)
 
 	start := time.Now()
 	mapEnd := make([]time.Duration, in)    // offset of map m's publish, from shuffle start
@@ -200,17 +221,18 @@ func (sc *shuffleCore[B, O]) runPipelined() error {
 		case <-cancel:
 			mapErrs[m] = errShuffleCanceled
 			return
+		case <-ex.Failed():
+			mapErrs[m] = errShuffleCanceled
+			return
 		default:
 		}
 		t0 := time.Now()
-		buckets[m] = make([][]byte, out)
 		published := make([]bool, out)
 		emit := func(r int, block []byte) {
-			// The store happens-before the send; the send happens-before the
-			// reduce side's read of buckets[m][r].
-			buckets[m][r] = block
+			// Publish stores the block before signaling readiness, so the
+			// reduce side's Block read is ordered after the store.
 			published[r] = true
-			notify[r] <- m // buffered to in: never blocks
+			ex.Publish(m, r, block)
 		}
 		if err := sc.mapTask(m, tm, emit); err != nil {
 			// Buckets already emitted stay valid (reduces may have consumed
@@ -222,7 +244,7 @@ func (sc *shuffleCore[B, O]) runPipelined() error {
 		tm.Wall = time.Since(t0)
 		for r := 0; r < out; r++ {
 			if !published[r] {
-				notify[r] <- m // empty bucket: publish so reduce r can account for m
+				ex.Publish(m, r, nil) // empty bucket: publish so reduce r can account for m
 			}
 		}
 		mapEnd[m] = time.Since(start)
@@ -242,7 +264,7 @@ func (sc *shuffleCore[B, O]) runPipelined() error {
 		for seen := 0; seen < in; seen++ {
 			var m int
 			select {
-			case m = <-notify[r]:
+			case m = <-ex.Notify(r):
 			default:
 				// Nothing published yet: genuine fetch wait, measured only on
 				// receives that actually block. Release the worker slot for the
@@ -254,8 +276,12 @@ func (sc *shuffleCore[B, O]) runPipelined() error {
 				<-sem
 				var canceled bool
 				select {
-				case m = <-notify[r]:
+				case m = <-ex.Notify(r):
 				case <-cancel:
+					canceled = true
+				case <-ex.Failed():
+					// A sibling rank failed the job: this bucket is never
+					// coming. The stage error surfaces via ex.Err below.
 					canceled = true
 				}
 				sem <- struct{}{}
@@ -265,7 +291,7 @@ func (sc *shuffleCore[B, O]) runPipelined() error {
 					return
 				}
 			}
-			block := buckets[m][r]
+			block := ex.Block(m, r)
 			if block == nil {
 				continue
 			}
@@ -298,11 +324,25 @@ func (sc *shuffleCore[B, O]) runPipelined() error {
 		for _, m := range lptOrder(in, sc.mapHint) {
 			m := m
 			mapTMs[m].Partition = m
+			if !mapOwned(m) {
+				continue
+			}
+			if procs > 1 {
+				mapTMs[m].Ran = true
+				mapTMs[m].Rank = rank
+			}
 			launch(func() { runMap(m) })
 		}
 		for r := 0; r < out; r++ {
 			r := r
 			redTMs[r].Partition = r
+			if !redOwned(r) {
+				continue
+			}
+			if procs > 1 {
+				redTMs[r].Ran = true
+				redTMs[r].Rank = rank
+			}
 			launch(func() { runReduce(r) })
 		}
 		wg.Wait()
@@ -341,6 +381,11 @@ func (sc *shuffleCore[B, O]) runPipelined() error {
 			return err
 		}
 	}
+	// No local root cause: a sibling rank may have failed the job (its error
+	// arrived as a control frame and unblocked our reduces via Failed).
+	if err := ex.Err(); err != nil {
+		return fmt.Errorf("engine: stage %q: %w", sc.name, err)
+	}
 	for _, errs := range [][]error{mapErrs, redErrs} {
 		for _, err := range errs {
 			if err != nil {
@@ -367,12 +412,13 @@ func shuffle[T any](name string, d *Dataset[T], numPartitions int, route func(p,
 	in := d.NumPartitions()
 	res := newResult(d.ctx, d.codec, numPartitions)
 	sc := &shuffleCore[[]T, T]{
-		ctx:     d.ctx,
-		name:    name,
-		in:      in,
-		out:     numPartitions,
-		mapHint: d.partitionSizeHint,
-		res:     res,
+		ctx:      d.ctx,
+		name:     name,
+		in:       in,
+		out:      numPartitions,
+		mapHint:  d.partitionSizeHint,
+		mapOwner: d.ownerOf,
+		res:      res,
 		mapTask: func(p int, tm *TaskMetrics, emit func(r int, block []byte)) error {
 			items, err := d.partition(p, tm)
 			if err != nil {
@@ -481,10 +527,14 @@ func Union[T any](name string, ds ...*Dataset[T]) (*Dataset[T], error) {
 			slots = append(slots, slot{d, p})
 		}
 	}
+	// Each output slot is computed by the rank holding its source partition,
+	// so the result needs a custom ownership map (the canonical i % procs
+	// assignment would make ranks read partitions they don't hold).
+	res.owner = func(i int) int { return slots[i].d.ownerOf(slots[i].p) }
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
-		tms, err = ctx.runTasksLPT(total, func(i int) int64 { return slots[i].d.partitionSizeHint(slots[i].p) }, func(i int, tm *TaskMetrics) error {
+		tms, err = ctx.runTasksOwned(total, func(i int) int64 { return slots[i].d.partitionSizeHint(slots[i].p) }, res.ownerOf, func(i int, tm *TaskMetrics) error {
 			start := time.Now()
 			items, err := slots[i].d.partition(slots[i].p, tm)
 			if err != nil {

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled shrinks the WGS-scale executor-backend tests under the race
+// detector: the byte-identity properties still run end to end, but on a
+// smaller genome so the instrumented multi-process runs stay inside the
+// package test timeout. Full-scale runs happen in the plain test pass; the
+// transport's own concurrency is race-tested in engine/exec/mproc.
+const raceEnabled = true

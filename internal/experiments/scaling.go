@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/gpf-go/gpf/internal/baseline"
+	"github.com/gpf-go/gpf/internal/compress"
+	"github.com/gpf-go/gpf/internal/core"
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/engine/exec/mproc"
+	"github.com/gpf-go/gpf/internal/engine/exec/simexec"
+	"github.com/gpf-go/gpf/internal/fastq"
+	"github.com/gpf-go/gpf/internal/vcf"
+	"github.com/gpf-go/gpf/internal/workload"
+)
+
+// ScalingJobName is the registered mproc job running the full WGS pipeline —
+// the workload behind the multi-process scaling experiment and the
+// -backend=mproc CLI path.
+const ScalingJobName = "exp-scaling-wgs"
+
+// ScalingSpec is the wire spec of the scaling job. Every rank decodes the
+// same spec and synthesizes the same dataset from the same seed, which is
+// what keeps the SPMD ranks' stage sequences identical.
+type ScalingSpec struct {
+	Scale Scale
+	Opts  baseline.WGSOptions
+	// InjectMapError makes a map task fail on whichever rank owns input
+	// partition 1 — the worker-side failure-propagation probe.
+	InjectMapError bool
+}
+
+// EncodeScalingSpec serializes a spec for mproc.Run.
+func EncodeScalingSpec(sp ScalingSpec) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sp); err != nil {
+		return nil, fmt.Errorf("scaling: encode spec: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func init() {
+	mproc.RegisterJob(ScalingJobName, func(ctx *engine.Context, spec []byte) ([]byte, error) {
+		var sp ScalingSpec
+		if err := gob.NewDecoder(bytes.NewReader(spec)).Decode(&sp); err != nil {
+			return nil, fmt.Errorf("%s: decode spec: %w", ScalingJobName, err)
+		}
+		return runScalingWGS(ctx, sp)
+	})
+}
+
+// runScalingWGS is baseline.RunWGS rebuilt on a provided engine context — the
+// SPMD job body. The output is the rendered VCF text, the byte-identity
+// witness across backends.
+func runScalingWGS(ctx *engine.Context, sp ScalingSpec) ([]byte, error) {
+	d := sp.Scale.dataset(workload.WGS)
+	rt := core.NewRuntime(ctx, d.Ref)
+	rt.PartitionLen = sp.Scale.PartitionLen
+	rt.NumPartitions = sp.Scale.NumPartitions
+	rt.Known = d.Known
+	rt.Codec = sp.Opts.Codec
+	ctx.DisablePipelinedShuffle = sp.Opts.BarrierShuffle
+	ctx.DisableMapSideCombine = sp.Opts.NoMapSideCombine
+	ctx.DisableFastKernels = sp.Opts.NoFastKernels
+	if !sp.Opts.DynamicRepartition {
+		rt.SplitThresholdFactor = 1e18
+	}
+	ds := core.PairsToRDD(rt, d.Pairs, rt.NumPartitions)
+	if sp.InjectMapError {
+		var err error
+		ds, err = engine.MapPartitions("inject-fail", ds,
+			engine.Serializer[fastq.Pair](compress.GPFPairCodec{}),
+			func(p int, items []fastq.Pair) ([]fastq.Pair, error) {
+				if p == 1 {
+					return nil, errors.New("injected worker-side map failure")
+				}
+				return items, nil
+			})
+		if err != nil {
+			return nil, err
+		}
+	}
+	wgs := core.BuildWGSPipeline(rt, ds, false)
+	wgs.Pipeline.Optimize = sp.Opts.Fuse
+	if err := wgs.Pipeline.Run(); err != nil {
+		return nil, err
+	}
+	calls, err := core.CollectVCF(rt, wgs.VCF)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := vcf.Write(&buf, wgs.VCF.Header, calls); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ScalingPoint is one process count of the scaling experiment.
+type ScalingPoint struct {
+	Procs        int
+	Measured     time.Duration
+	Predicted    time.Duration // simulator oracle, replayed from the W=1 trace
+	ShuffleBytes int64
+	FetchWait    time.Duration
+	Identical    bool // output byte-identical to the W=1 run
+}
+
+// ScalingResult is the multi-process scaling experiment: measured wall time
+// per worker-process count next to the simulator oracle's prediction.
+type ScalingResult struct {
+	Slots  int
+	Points []ScalingPoint
+}
+
+// scalingProcs is the default curve.
+var scalingProcs = []int{1, 2, 4, 8}
+
+// Scaling measures the WGS pipeline across W = 1, 2, 4, 8 processes and
+// replays the W=1 metrics through the simulator for the predicted curve.
+func Scaling(s Scale) (*ScalingResult, error) {
+	return ScalingAt(s, scalingProcs)
+}
+
+// ScalingAt is Scaling at explicit process counts (tests use a short list).
+func ScalingAt(s Scale, procs []int) (*ScalingResult, error) {
+	maxW := 1
+	for _, w := range procs {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	// Every rank must own work at the largest W: keep at least two partitions
+	// per process so the measured curve reflects transport, not idle ranks.
+	if s.NumPartitions < 2*maxW {
+		s.NumPartitions = 2 * maxW
+	}
+	slots := s.Workers
+	if slots < 1 {
+		slots = 1
+	}
+	spec, err := EncodeScalingSpec(ScalingSpec{Scale: s, Opts: baseline.GPFOptions()})
+	if err != nil {
+		return nil, err
+	}
+	res := &ScalingResult{Slots: slots}
+	var ref []byte
+	var base engine.Metrics
+	for i, w := range procs {
+		r, err := mproc.Run(ScalingJobName, spec, mproc.Options{Procs: w, Slots: slots})
+		if err != nil {
+			return nil, fmt.Errorf("scaling: W=%d: %w", w, err)
+		}
+		if i == 0 {
+			ref = r.Output
+			base = r.Metrics
+		}
+		res.Points = append(res.Points, ScalingPoint{
+			Procs:        w,
+			Measured:     r.Wall,
+			ShuffleBytes: r.Metrics.TotalShuffleBytes(),
+			FetchWait:    r.Metrics.TotalFetchWait(),
+			Identical:    bytes.Equal(r.Output, ref),
+		})
+	}
+	for i, p := range simexec.PredictScaling(base, slots, procs) {
+		res.Points[i].Predicted = p.Makespan
+	}
+	return res, nil
+}
+
+// Format renders the scaling table.
+func (r *ScalingResult) Format() []string {
+	out := []string{
+		fmt.Sprintf("Multi-process scaling: measured vs simulator prediction (%d slots/process)", r.Slots),
+		row("W (processes)", "  measured", " predicted", "shuffle GB", "fetch-wait", "identical"),
+	}
+	for _, p := range r.Points {
+		out = append(out, row(
+			fmt.Sprintf("%d", p.Procs),
+			fmt.Sprintf("%9.2fs", p.Measured.Seconds()),
+			fmt.Sprintf("%9.2fs", p.Predicted.Seconds()),
+			fmt.Sprintf("%10.4f", gb(p.ShuffleBytes)),
+			fmt.Sprintf("%9.2fs", p.FetchWait.Seconds()),
+			fmt.Sprintf("%9v", p.Identical),
+		))
+	}
+	return out
+}
+
+// RunWGSOn executes the WGS pipeline once on the named executor backend —
+// the `gpf-bench -exp wgs -backend=...` path. backend is "inproc", "sim" or
+// "mproc"; procs only matters for mproc.
+func RunWGSOn(s Scale, backend string, procs int) ([]string, error) {
+	slots := s.Workers
+	if slots < 1 {
+		slots = 1
+	}
+	sp := ScalingSpec{Scale: s, Opts: baseline.GPFOptions()}
+	start := time.Now()
+	var (
+		out     []byte
+		metrics engine.Metrics
+		err     error
+	)
+	switch backend {
+	case "mproc":
+		spec, eerr := EncodeScalingSpec(sp)
+		if eerr != nil {
+			return nil, eerr
+		}
+		var r *mproc.Result
+		if r, err = mproc.Run(ScalingJobName, spec, mproc.Options{Procs: procs, Slots: slots}); err == nil {
+			out, metrics = r.Output, r.Metrics
+		}
+	case "sim":
+		ctx := engine.NewContextOn(simexec.New(slots))
+		if out, err = runScalingWGS(ctx, sp); err == nil {
+			metrics = ctx.Metrics()
+		}
+	case "inproc", "":
+		backend = "inproc"
+		ctx := engine.NewContext(slots)
+		if out, err = runScalingWGS(ctx, sp); err == nil {
+			metrics = ctx.Metrics()
+		}
+	default:
+		return nil, fmt.Errorf("unknown backend %q (inproc|sim|mproc)", backend)
+	}
+	if err != nil {
+		return nil, err
+	}
+	wall := time.Since(start)
+	lines := []string{
+		fmt.Sprintf("WGS pipeline on backend=%s (procs=%d, slots=%d)", backend, procs, slots),
+		row("wall", fmt.Sprintf("%.2fs", wall.Seconds())),
+		row("output VCF bytes", fmt.Sprintf("%d", len(out))),
+		row("stages", fmt.Sprintf("%d", metrics.NumStages())),
+		row("shuffle GB", fmt.Sprintf("%.4f", gb(metrics.TotalShuffleBytes()))),
+		row("fetch wait", fmt.Sprintf("%.3fs", metrics.TotalFetchWait().Seconds())),
+	}
+	if backend == "sim" {
+		for _, p := range simexec.PredictScaling(metrics, slots, scalingProcs) {
+			lines = append(lines, row(
+				fmt.Sprintf("oracle W=%d", p.Procs),
+				fmt.Sprintf("predicted %.2fs", p.Makespan.Seconds()),
+				fmt.Sprintf("speedup %.2fx", p.Speedup),
+			))
+		}
+	}
+	return lines, nil
+}

@@ -23,7 +23,10 @@ var CodecErr = &analysis.Analyzer{
 	Run: runCodecErr,
 }
 
-// codecMethodNames are the watched serialization entry points.
+// codecMethodNames are the watched serialization entry points. The frame
+// variants cover the mproc shuffle transport: a frame write whose error is
+// dropped leaves the peer waiting on a bucket that never arrives, and a
+// dropped frame-read error turns a torn header into garbage geometry.
 var codecMethodNames = map[string]bool{
 	"Marshal":     true,
 	"Unmarshal":   true,
@@ -34,6 +37,10 @@ var codecMethodNames = map[string]bool{
 	"WriteString": true,
 	"WriteTo":     true,
 	"Flush":       true,
+	"WriteFrame":  true,
+	"writeFrame":  true,
+	"ReadFrame":   true,
+	"readFrame":   true,
 }
 
 // stdlibCodecPkgs are non-module packages whose codec errors are also

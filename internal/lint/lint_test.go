@@ -47,6 +47,15 @@ func TestColfmtCodecFixture(t *testing.T) {
 	analysistest.Run(t, fixture("colfmtcodec"), "github.com/gpf-go/gpf/internal/colfmt/colfmtcodecfixture", lint.BufAlloc, lint.CodecErr)
 }
 
+// TestMprocTransportFixture runs codecerr and sharedcapture together over
+// the shuffle-transport fixture, loaded under a package path inside
+// internal/engine/exec/mproc: frame read/write calls are watched codec
+// surfaces, and op closures built from transport code obey the captured-write
+// rule.
+func TestMprocTransportFixture(t *testing.T) {
+	analysistest.Run(t, fixture("mproctransport"), "github.com/gpf-go/gpf/internal/engine/exec/mproc/transportfixture", lint.CodecErr, lint.SharedCapture)
+}
+
 // TestScopeFilters asserts that path-scoped analyzers stay quiet outside
 // their packages: the scopecheck fixture contains mapiter and walltime
 // violations but is loaded under an unrelated import path, so the whole

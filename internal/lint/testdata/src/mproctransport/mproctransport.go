@@ -1,0 +1,75 @@
+// Fixture for the transport-package scope of codecerr and sharedcapture
+// (loaded under a path inside internal/engine/exec/mproc): dropped errors
+// from frame read/write calls are flagged — a lost frame-write error leaves a
+// peer blocked on a bucket that never arrives — and engine op closures built
+// in transport code obey the same captured-write rule as everywhere else.
+package mproctransport
+
+import (
+	"io"
+
+	"github.com/gpf-go/gpf/internal/engine"
+)
+
+// conn mimics the transport's framed connection surface.
+type conn struct{ w io.Writer }
+
+func (c *conn) writeFrame(kind byte, body []byte) error {
+	_, err := c.w.Write(append([]byte{kind}, body...))
+	return err
+}
+
+// WriteFrame is the exported variant (a public transport would expose this).
+func (c *conn) WriteFrame(kind byte, body []byte) error {
+	return c.writeFrame(kind, body)
+}
+
+func readFrame(r io.Reader) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], nil, nil
+}
+
+func framePositives(c *conn, r io.Reader) {
+	c.writeFrame(1, []byte("ready")) // want "error return of mproctransport.writeFrame dropped"
+
+	_ = c.WriteFrame(2, nil) // want "error return of mproctransport.WriteFrame dropped"
+
+	kind, body, _ := readFrame(r) // want "error return of mproctransport.readFrame dropped"
+	_, _ = kind, body
+
+	go c.writeFrame(3, nil) // want "error return of mproctransport.writeFrame dropped"
+}
+
+func frameNegatives(c *conn, r io.Reader) error {
+	if err := c.writeFrame(1, nil); err != nil {
+		return err
+	}
+	if _, _, err := readFrame(r); err != nil {
+		return err
+	}
+	//lint:ignore gpflint/codecerr fixture exercises the suppression path
+	_ = c.WriteFrame(9, nil)
+	return nil
+}
+
+// shuffleSend builds an engine shuffle from transport code: the op closures
+// run concurrently per partition, so captured writes race exactly as they do
+// in pipeline code.
+func shuffleSend(d *engine.Dataset[int]) {
+	bytesOut := 0
+	_, _ = engine.PartitionBy("t/route", d, 4, func(v int) int {
+		bytesOut += 8 // want "assignment to variable \"bytesOut\" captured"
+		return v
+	})
+
+	// Per-bucket accounting through the op's own return value is the
+	// intended shape.
+	_, _ = engine.MapPartitions("t/frame", d, nil, func(p int, items []int) ([]int, error) {
+		framed := make([]int, 0, len(items))
+		framed = append(framed, items...)
+		return framed, nil
+	})
+}
