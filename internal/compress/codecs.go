@@ -276,6 +276,11 @@ func readSAMFixed(data []byte, r *sam.Record) ([]byte, error) {
 		return nil, fmt.Errorf("compress: bad tag count")
 	}
 	data = data[n:]
+	// Each tag is two length-prefixed strings (≥ 2 bytes); bound the count by
+	// the payload before the map allocation sizes itself from it.
+	if nTags > uint64(len(data)) {
+		return nil, fmt.Errorf("compress: tag count %d exceeds payload", nTags)
+	}
 	if nTags > 0 {
 		r.Tags = make(map[string]string, nTags)
 		for i := uint64(0); i < nTags; i++ {

@@ -2,6 +2,7 @@ package compress
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -457,6 +458,21 @@ func TestUnmarshalCorruptData(t *testing.T) {
 	}
 	if _, err := (FieldPairCodec{}).Unmarshal([]byte{0x02, 0x05}); err == nil {
 		t.Fatal("corrupt field data should error")
+	}
+}
+
+// TestReadSAMFixedBoundsTagCount: a corrupt tag count must error before it
+// sizes the tag map — the allocate-before-validate shape gpflint/alloclen
+// guards against (pre-fix this line allocated a map hinted at 2^40 entries).
+func TestReadSAMFixedBoundsTagCount(t *testing.T) {
+	rec := sam.Record{Name: "r1"}
+	enc := appendSAMFixed(nil, &rec)
+	// The encoding ends with the tag count (a single 0x00 varint); replace
+	// it with an absurd count and no tag payload behind it.
+	enc = binary.AppendUvarint(enc[:len(enc)-1], 1<<40)
+	var got sam.Record
+	if _, err := readSAMFixed(enc, &got); err == nil {
+		t.Fatal("tag count exceeding the payload must error, not allocate")
 	}
 }
 

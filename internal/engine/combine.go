@@ -216,6 +216,11 @@ func (KeyedIntCodec) Unmarshal(data []byte) ([]Keyed[int], error) {
 		return nil, fmt.Errorf("engine: keyed-varint: bad pair count")
 	}
 	data = data[read:]
+	// Each pair is at least two varint bytes; bound the count by the payload
+	// before it sizes the slice (a corrupt count must error, not OOM).
+	if n > uint64(len(data)) {
+		return nil, fmt.Errorf("engine: keyed-varint: pair count %d exceeds payload", n)
+	}
 	next := func() (int64, error) {
 		v, r := binary.Varint(data)
 		if r <= 0 {

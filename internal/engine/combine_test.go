@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/binary"
 	"reflect"
 	"sort"
 	"testing"
@@ -178,6 +179,16 @@ func TestKeyedIntCodecRejectsGarbage(t *testing.T) {
 	}
 	if _, err := (KeyedIntCodec{}).Unmarshal([]byte{0x05, 0x02}); err == nil {
 		t.Fatal("truncated block must not decode")
+	}
+}
+
+// TestKeyedIntCodecBoundsPairCount: a corrupt pair count must error before
+// it sizes the slice — the allocate-before-validate shape gpflint/alloclen
+// guards against (pre-fix this reserved 2^40 pairs, ~16 TiB).
+func TestKeyedIntCodecBoundsPairCount(t *testing.T) {
+	block := binary.AppendUvarint(nil, 1<<40)
+	if _, err := (KeyedIntCodec{}).Unmarshal(block); err == nil {
+		t.Fatal("pair count exceeding the payload must error, not allocate")
 	}
 }
 

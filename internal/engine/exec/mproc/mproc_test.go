@@ -7,13 +7,13 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/testutil/leakcheck"
 )
 
 // TestMain hands the process over to workerMain when this test binary is the
@@ -233,7 +233,7 @@ func TestMprocMergedMetricsCoverEveryTask(t *testing.T) {
 // driver must return a clean error naming the lost worker, leak no
 // goroutines, and leave the transport reusable for a following run.
 func TestMprocWorkerCrash(t *testing.T) {
-	base := runtime.NumGoroutine()
+	base := leakcheck.Snapshot()
 	_, err := Run("test-crash", nil, Options{Procs: 2, Slots: 2})
 	if err == nil {
 		t.Fatal("expected error from crashed worker")
@@ -241,7 +241,7 @@ func TestMprocWorkerCrash(t *testing.T) {
 	if !strings.Contains(err.Error(), "rank 1") {
 		t.Fatalf("error does not name the lost worker: %v", err)
 	}
-	waitGoroutinesBelow(t, base)
+	base.Check(t)
 
 	// The crash must not poison the process: a fresh run on a new mesh (new
 	// sockets, new workers) succeeds.
@@ -254,18 +254,18 @@ func TestMprocWorkerCrash(t *testing.T) {
 // stage, the crash must unwind it too (ERR/EOF propagation across the mesh),
 // not just the driver.
 func TestMprocWorkerCrashThreeProcs(t *testing.T) {
-	base := runtime.NumGoroutine()
+	base := leakcheck.Snapshot()
 	_, err := Run("test-crash", nil, Options{Procs: 3, Slots: 2})
 	if err == nil {
 		t.Fatal("expected error from crashed worker")
 	}
-	waitGoroutinesBelow(t, base)
+	base.Check(t)
 }
 
 // TestMprocWorkerMapError: a genuine task error on a worker rank travels to
 // the driver as the root cause, not as a masked cancellation.
 func TestMprocWorkerMapError(t *testing.T) {
-	base := runtime.NumGoroutine()
+	base := leakcheck.Snapshot()
 	_, err := Run("test-maperr", nil, Options{Procs: 2, Slots: 2})
 	if err == nil {
 		t.Fatal("expected injected failure")
@@ -273,30 +273,13 @@ func TestMprocWorkerMapError(t *testing.T) {
 	if !strings.Contains(err.Error(), "injected map failure") {
 		t.Fatalf("root cause masked: %v", err)
 	}
-	waitGoroutinesBelow(t, base)
+	base.Check(t)
 }
 
 // TestMprocUnknownJob fails fast without forking anything.
 func TestMprocUnknownJob(t *testing.T) {
 	if _, err := Run("no-such-job", nil, Options{Procs: 2}); err == nil {
 		t.Fatal("expected unknown-job error")
-	}
-}
-
-// waitGoroutinesBelow polls until the goroutine count drops back to the
-// baseline (read loops joined, child waiters reaped) — the engine package's
-// leak-check pattern.
-func waitGoroutinesBelow(t *testing.T, base int) {
-	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if runtime.NumGoroutine() <= base {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
-		}
-		time.Sleep(5 * time.Millisecond)
 	}
 }
 

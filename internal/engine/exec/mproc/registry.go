@@ -141,7 +141,13 @@ func Run(name string, spec []byte, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("mproc: listen: %w", err)
 	}
-	defer ln.Close()
+	// Join the HELLO accept loop on every exit path: closing the listener
+	// unblocks a parked Accept, so the loop cannot outlive Run.
+	var accept sync.WaitGroup
+	defer func() {
+		_ = ln.Close()
+		accept.Wait()
+	}()
 
 	t := newTransport(0, procs)
 	cmds := make([]*exec.Cmd, procs)
@@ -203,13 +209,16 @@ func Run(name string, spec []byte, opts Options) (*Result, error) {
 		err  error
 	}
 	helloCh := make(chan hello, procs)
+	accept.Add(1)
 	go func() {
+		defer accept.Done()
 		for i := 1; i < procs; i++ {
 			nc, aerr := ln.Accept()
 			if aerr != nil {
 				helloCh <- hello{err: fmt.Errorf("mproc: accept: %w", aerr)}
 				return
 			}
+			//lint:ignore gpflint/goleak handshake read is deadline-bounded (handshakeTimeout), so a stalled peer errors the goroutine out; its hello send lands in a procs-capacity buffer
 			go func(nc net.Conn) {
 				_ = nc.SetReadDeadline(time.Now().Add(handshakeTimeout))
 				kind, body, rerr := readFrame(nc)

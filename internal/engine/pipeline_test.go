@@ -10,6 +10,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"github.com/gpf-go/gpf/internal/testutil/leakcheck"
 )
 
 // slowCodec delays every Marshal/Unmarshal by delay, forcing map tasks to
@@ -128,28 +130,12 @@ func TestPipelinedDeterministicUnderRandomCompletion(t *testing.T) {
 	}
 }
 
-// waitGoroutinesBelow polls until the goroutine count drops to at most base
-// (tolerating runtime bookkeeping goroutines that were already running).
-func waitGoroutinesBelow(t *testing.T, base int) {
-	t.Helper()
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		if runtime.NumGoroutine() <= base {
-			return
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-}
-
 // TestPipelinedMapErrorCancelsReduces injects a map-side serialization
 // failure: the shuffle must return that error (not a cancellation), produce
 // no result, and leave no goroutine behind even though reduce tasks were
 // blocked waiting for the failed map's buckets.
 func TestPipelinedMapErrorCancelsReduces(t *testing.T) {
-	base := runtime.NumGoroutine()
+	base := leakcheck.Snapshot()
 	ctx := NewContext(8)
 	// 2 map partitions, 6 reduce partitions: reduce tasks hold worker slots
 	// and block on notifications while the poisoned map task fails.
@@ -161,13 +147,13 @@ func TestPipelinedMapErrorCancelsReduces(t *testing.T) {
 	if !strings.Contains(err.Error(), "poisoned block") || errors.Is(err, errShuffleCanceled) {
 		t.Fatalf("root cause masked by cancellation: %v", err)
 	}
-	waitGoroutinesBelow(t, base)
+	base.Check(t, leakcheck.Timeout(3*time.Second))
 }
 
 // TestPipelinedPanicRecovered: a panicking route function must surface as an
 // error from the pipelined pass, with no leaked goroutines.
 func TestPipelinedPanicRecovered(t *testing.T) {
-	base := runtime.NumGoroutine()
+	base := leakcheck.Snapshot()
 	ctx := NewContext(4)
 	d := Parallelize(ctx, intRange(50), 4)
 	_, err := PartitionBy("panic", d, 4, func(x int) int {
@@ -179,7 +165,7 @@ func TestPipelinedPanicRecovered(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("panic not converted to error: %v", err)
 	}
-	waitGoroutinesBelow(t, base)
+	base.Check(t, leakcheck.Timeout(3*time.Second))
 }
 
 // TestPipelinedFetchWaitAndOverlap sets up more workers than map tasks so

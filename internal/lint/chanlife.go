@@ -1,0 +1,377 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"github.com/gpf-go/gpf/internal/lint/analysis"
+	"github.com/gpf-go/gpf/internal/lint/analysis/dataflow"
+)
+
+// ChanLife checks channel lifecycle discipline in the shuffle readiness and
+// mproc transport code: a channel has one owner, the owner closes it at most
+// once, and nobody sends after the close. Violations panic at runtime — and
+// in this codebase they panic on the error path (teardown after a worker
+// crash), exactly where tests rarely look. Flagged patterns:
+//
+//   - double close: two closes of the same channel reachable on one path
+//     (sync.Once-guarded closes and exclusive branches are exempt)
+//   - close inside a loop that can reach it twice (a receive-guarded
+//     select default, sync.Once, or a terminating tail exempts it)
+//   - send reachable after a close of the same channel in the same function
+//   - close of a channel received directly as a parameter (callees are not
+//     owners; channel fields of a handed-over state struct are exempt)
+//
+// Channel identity is resolved through the dataflow layer: channels sharing
+// a make site (aliases) are the same channel; otherwise the rooted selector
+// path (t.goCh) identifies the field.
+var ChanLife = &analysis.Analyzer{
+	Name: "chanlife",
+	Doc: "flags double-close, send-after-close, and close-by-non-owner " +
+		"channel patterns in the engine and its transports",
+	Run: runChanLife,
+}
+
+var chanLifeScopes = []string{"internal/engine"}
+
+func chanLifeInScope(path string) bool {
+	return inScope(path, chanLifeScopes) || path == "command-line-arguments"
+}
+
+// chanSite is one close or send touching a channel within a function.
+type chanSite struct {
+	node ast.Node // the close CallExpr or SendStmt
+	arg  ast.Expr // the channel expression
+	key  string
+	path []ast.Node
+}
+
+func runChanLife(pass *analysis.Pass) error {
+	if !chanLifeInScope(pass.Pkg.Path()) {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkChanLife(pass, info, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkChanLife(pass *analysis.Pass, info *types.Info, fd *ast.FuncDecl) {
+	flow := dataflow.New(info, fd)
+	if flow == nil {
+		return
+	}
+	// Channels made in this function are identified by their make sites, so
+	// aliases (done := ch; close(done)) collapse to one identity.
+	taint := flow.Taint(dataflow.Spec{Call: func(call *ast.CallExpr, result int) bool {
+		if result != 0 {
+			return false
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return false
+		}
+		if _, isBuiltin := objOf(info, id).(*types.Builtin); !isBuiltin {
+			return false
+		}
+		tv, ok := info.Types[call]
+		if !ok {
+			return false
+		}
+		_, isChan := tv.Type.Underlying().(*types.Chan)
+		return isChan
+	}})
+	key := func(e ast.Expr) string {
+		if seeds := taint.Seeds(e); len(seeds) > 0 {
+			ps := make([]int, 0, len(seeds))
+			for p := range seeds {
+				ps = append(ps, int(p))
+			}
+			sort.Ints(ps)
+			return fmt.Sprintf("make@%v", ps)
+		}
+		return "expr:" + types.ExprString(e)
+	}
+
+	var closes, sends []chanSite
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := objOf(info, id).(*types.Builtin); isBuiltin {
+					closes = append(closes, chanSite{node: n, arg: n.Args[0], key: key(n.Args[0]), path: flow.PathTo(n)})
+				}
+			}
+		case *ast.SendStmt:
+			sends = append(sends, chanSite{node: n, arg: n.Chan, key: key(n.Chan), path: flow.PathTo(n)})
+		}
+		return true
+	})
+	if len(closes) == 0 {
+		return
+	}
+
+	pos := func(n ast.Node) string { return pass.Fset.Position(n.Pos()).String() }
+
+	// Rule: close of a parameter channel — the callee is not the owner. Only
+	// a channel passed directly counts: closing a channel field of a state
+	// struct the caller handed over is the owner delegating the lifecycle
+	// with the struct (transport.gatherStore closing gs.done is fine).
+	for _, c := range closes {
+		id, ok := ast.Unparen(c.arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if v, ok := objOf(info, id).(*types.Var); ok && isParamOf(flow, c, v) {
+			reportNode(pass, c.node, "close of parameter channel %s — channels are closed by "+
+				"their owning sender, not by callees; signal completion on a separate channel "+
+				"instead", types.ExprString(c.arg))
+		}
+	}
+
+	// Rule: double close on one path.
+	byKey := make(map[string][]chanSite)
+	for _, c := range closes {
+		byKey[c.key] = append(byKey[c.key], c)
+	}
+	for _, group := range byKey {
+		for i := 1; i < len(group); i++ {
+			for j := 0; j < i; j++ {
+				a, b := group[j], group[i]
+				if inOnce(info, a.path) || inOnce(info, b.path) {
+					continue
+				}
+				if exclusivePaths(a.path, b.path) {
+					continue
+				}
+				reportNode(pass, b.node, "channel %s is closed more than once on this path "+
+					"(earlier close at %s) — a double close panics; make the closes exclusive "+
+					"or route both through sync.Once", types.ExprString(b.arg), pos(a.node))
+			}
+		}
+	}
+
+	// Rule: close inside a loop that can reach it twice.
+	for _, c := range closes {
+		if !inLoop(c.path) || inOnce(info, c.path) || selectReceiveGuarded(c, key) {
+			continue
+		}
+		if closeTailTerminates(c.path) {
+			continue
+		}
+		reportNode(pass, c.node, "close of %s inside a loop can execute more than once — the "+
+			"second close panics; guard it with sync.Once, a receive-default select, or exit "+
+			"the loop after closing", types.ExprString(c.arg))
+	}
+
+	// Rule: send reachable after a close of the same channel.
+	for _, s := range sends {
+		for _, c := range closes {
+			if c.key != s.key {
+				continue
+			}
+			if definitelyBefore(c, s) {
+				reportNode(pass, s.node, "send on %s is reachable after its close at %s — "+
+					"send on a closed channel panics; the close must be the last lifecycle "+
+					"event", types.ExprString(s.arg), pos(c.node))
+				break
+			}
+		}
+	}
+}
+
+// isParamOf reports whether v is a non-receiver parameter of the enclosing
+// function or of any function literal enclosing the close site.
+func isParamOf(flow *dataflow.Func, c chanSite, v *types.Var) bool {
+	if sig := flow.Sig; sig != nil {
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == v {
+				return true
+			}
+		}
+	}
+	for _, anc := range c.path {
+		lit, ok := anc.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		tv, ok := flow.Info.Types[lit]
+		if !ok {
+			continue
+		}
+		sig, ok := tv.Type.(*types.Signature)
+		if !ok {
+			continue
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i) == v {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// inOnce reports whether the site sits inside a sync.Once Do callback.
+func inOnce(info *types.Info, path []ast.Node) bool {
+	for _, anc := range path {
+		call, ok := anc.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Name() != "Do" {
+			continue
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+			isNamed(sig.Recv().Type(), "sync", "Once") {
+			return true
+		}
+	}
+	return false
+}
+
+// inLoop reports whether the site has a for/range ancestor inside the
+// function (function literals between the loop and the site don't reset it —
+// the literal may run per iteration).
+func inLoop(path []ast.Node) bool {
+	for _, anc := range path {
+		switch anc.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return true
+		}
+	}
+	return false
+}
+
+// selectReceiveGuarded recognizes the once-per-channel close idiom
+//
+//	select { case <-ch: default: close(ch) }
+//
+// the close sits in the default clause of a select that also receives from
+// the same channel, so a second arrival takes the receive arm instead.
+func selectReceiveGuarded(c chanSite, key func(ast.Expr) string) bool {
+	for i, anc := range c.path {
+		sel, ok := anc.(*ast.SelectStmt)
+		if !ok || i+2 >= len(c.path) {
+			continue
+		}
+		clause, ok := c.path[i+2].(*ast.CommClause)
+		if !ok || clause.Comm != nil { // close must be in the default clause
+			continue
+		}
+		for _, other := range sel.Body.List {
+			cc, ok := other.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			if recv := recvChan(cc.Comm); recv != nil && key(recv) == c.key {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// recvChan extracts the channel expression of a receive comm clause.
+func recvChan(comm ast.Stmt) ast.Expr {
+	var expr ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		expr = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			expr = s.Rhs[0]
+		}
+	}
+	if u, ok := ast.Unparen(expr).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u.X
+	}
+	return nil
+}
+
+// closeTailTerminates reports whether the innermost block holding the close
+// exits after it (return/break/panic in tail position), so a loop iteration
+// cannot re-reach the close.
+func closeTailTerminates(path []ast.Node) bool {
+	for i := len(path) - 1; i >= 0; i-- {
+		if blk, ok := path[i].(*ast.BlockStmt); ok {
+			return dataflow.Terminates(blk)
+		}
+	}
+	return false
+}
+
+// exclusivePaths reports whether two sites diverge into mutually exclusive
+// branches: different arms of one if, or different clauses of one
+// switch/select.
+func exclusivePaths(a, b []ast.Node) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+		exclusive := false
+		switch a[i].(type) {
+		case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			exclusive = true
+		}
+		if exclusive && i+1 < len(a) && i+1 < len(b) && a[i+1] != b[i+1] {
+			return true
+		}
+	}
+	return false
+}
+
+// definitelyBefore reports whether close c executes before send s on a
+// straight-line path: both hang off one common block, the close's statement
+// comes first, and nothing conditional wraps the close below that block.
+func definitelyBefore(c, s chanSite) bool {
+	n := len(c.path)
+	if len(s.path) < n {
+		n = len(s.path)
+	}
+	for i := 0; i < n && c.path[i] == s.path[i]; i++ {
+		blk, ok := c.path[i].(*ast.BlockStmt)
+		if !ok || i+1 >= len(c.path) || i+1 >= len(s.path) {
+			continue
+		}
+		cs, ss := -1, -1
+		for idx, stmt := range blk.List {
+			if stmt == c.path[i+1] {
+				cs = idx
+			}
+			if stmt == s.path[i+1] {
+				ss = idx
+			}
+		}
+		if cs < 0 || ss < 0 || cs >= ss {
+			continue
+		}
+		// The close statement precedes the send statement under this block;
+		// it counts only if the close is unconditional below it.
+		unconditional := true
+		for k := i + 1; k < len(c.path); k++ {
+			switch c.path[k].(type) {
+			case *ast.IfStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt,
+				*ast.ForStmt, *ast.RangeStmt, *ast.FuncLit:
+				unconditional = false
+			}
+		}
+		if unconditional {
+			return true
+		}
+	}
+	return false
+}

@@ -25,6 +25,9 @@ func Suite() []*analysis.Analyzer {
 		WallTime,
 		CodecErr,
 		BufAlloc,
+		AllocLen,
+		GoLeak,
+		ChanLife,
 	}
 }
 
@@ -38,10 +41,19 @@ type ignoreDirective struct {
 // `//lint:ignore gpflint/walltime simulated clock unavailable here`.
 const ignorePrefix = "lint:ignore"
 
-// parseIgnores maps file line numbers to the suppression directives written
-// on them.
-func parseIgnores(fset *token.FileSet, file *ast.File) map[int]ignoreDirective {
-	out := make(map[int]ignoreDirective)
+// IgnoreDirective is the parsed form of one suppression comment, including
+// malformed ones (no analyzer names, or no reason) so the suppression audit
+// can reject them instead of silently skipping them.
+type IgnoreDirective struct {
+	Line   int
+	Names  []string // analyzer names with the gpflint/ prefix stripped
+	Reason string   // text after the analyzer list; empty when missing
+}
+
+// ParseIgnoreDirectives returns every lint:ignore comment in file, in
+// source order.
+func ParseIgnoreDirectives(fset *token.FileSet, file *ast.File) []IgnoreDirective {
+	var out []IgnoreDirective
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
@@ -49,23 +61,36 @@ func parseIgnores(fset *token.FileSet, file *ast.File) map[int]ignoreDirective {
 				continue
 			}
 			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
-			fields := strings.Fields(rest)
-			// A directive needs an analyzer list AND a reason.
-			if len(fields) < 2 {
-				continue
+			d := IgnoreDirective{Line: fset.Position(c.Pos()).Line}
+			if list, reason, ok := strings.Cut(rest, " "); ok {
+				d.Reason = strings.TrimSpace(reason)
+				rest = list
 			}
-			names := make(map[string]bool)
-			for _, n := range strings.Split(fields[0], ",") {
-				n = strings.TrimPrefix(n, "gpflint/")
+			for _, n := range strings.Split(rest, ",") {
+				n = strings.TrimPrefix(strings.TrimSpace(n), "gpflint/")
 				if n != "" {
-					names[n] = true
+					d.Names = append(d.Names, n)
 				}
 			}
-			if len(names) == 0 {
-				continue
-			}
-			out[fset.Position(c.Pos()).Line] = ignoreDirective{names: names}
+			out = append(out, d)
 		}
+	}
+	return out
+}
+
+// parseIgnores maps file line numbers to the well-formed suppression
+// directives written on them: an analyzer list and a non-empty reason.
+func parseIgnores(fset *token.FileSet, file *ast.File) map[int]ignoreDirective {
+	out := make(map[int]ignoreDirective)
+	for _, d := range ParseIgnoreDirectives(fset, file) {
+		if len(d.Names) == 0 || d.Reason == "" {
+			continue
+		}
+		names := make(map[string]bool, len(d.Names))
+		for _, n := range d.Names {
+			names[n] = true
+		}
+		out[d.Line] = ignoreDirective{names: names}
 	}
 	return out
 }
@@ -135,4 +160,31 @@ func sortDiags(fset *token.FileSet, diags []analysis.Diagnostic) {
 func Format(fset *token.FileSet, d analysis.Diagnostic) string {
 	pos := fset.Position(d.Pos)
 	return fmt.Sprintf("%s: %s (gpflint/%s)", pos, d.Message, d.Analyzer)
+}
+
+// JSONDiagnostic is the machine-readable finding record behind
+// `gpflint -json` — one object per diagnostic, consumed by CI to emit
+// annotations and archived as a build artifact.
+type JSONDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// ToJSON converts diagnostics to their machine-readable form.
+func ToJSON(fset *token.FileSet, diags []analysis.Diagnostic) []JSONDiagnostic {
+	out := make([]JSONDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, JSONDiagnostic{
+			File:     pos.Filename,
+			Line:     pos.Line,
+			Col:      pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package lint_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -75,5 +76,69 @@ func TestSweepCatchesRepartitionRace(t *testing.T) {
 	}
 	if !strings.Contains(out, "next") {
 		t.Fatalf("diagnostic does not name the captured variable:\n%s", out)
+	}
+}
+
+// TestSweepCatchesAllocBeforeValidate asserts the alloclen acceptance
+// criterion: gpflint exits non-zero on the seeded fixture reproducing the
+// pre-fix unpackSeq OOM and the PR 8 frame-decoder allocate-before-validate
+// shape, and attributes both findings to the alloclen analyzer.
+func TestSweepCatchesAllocBeforeValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping gpflint subprocess test in -short mode")
+	}
+	root := moduleRoot(t)
+	fixture := filepath.Join("internal", "lint", "testdata", "oomfixture", "fixture.go")
+	out, code := runGpflint(t, root, fixture)
+	if code != 1 {
+		t.Fatalf("gpflint %s exited %d; want 1\n%s", fixture, code, out)
+	}
+	if got := strings.Count(out, "gpflint/alloclen"); got != 2 {
+		t.Fatalf("want 2 alloclen findings (unpackSeq and frame decoder shapes), got %d:\n%s", got, out)
+	}
+}
+
+// TestJSONOutput: -json must emit one record per finding with the fields CI
+// consumes, and an empty array — not an empty string — on a clean sweep.
+// Exit codes are unchanged by the flag.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping gpflint subprocess test in -short mode")
+	}
+	root := moduleRoot(t)
+	fixture := filepath.Join("internal", "lint", "testdata", "oomfixture", "fixture.go")
+	out, code := runGpflint(t, root, "-json", fixture)
+	if code != 1 {
+		t.Fatalf("gpflint -json %s exited %d; want 1\n%s", fixture, code, out)
+	}
+	// CombinedOutput appends the stderr count and exit-status lines after the
+	// JSON document; a Decoder stops at the end of the first value.
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.NewDecoder(strings.NewReader(out)).Decode(&findings); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, out)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("want 2 findings, got %d:\n%s", len(findings), out)
+	}
+	for _, f := range findings {
+		if f.Analyzer != "alloclen" || f.Line == 0 || f.Col == 0 ||
+			!strings.Contains(f.File, "fixture.go") || !strings.Contains(f.Message, "untrusted") {
+			t.Fatalf("malformed finding record: %+v", f)
+		}
+	}
+
+	out, code = runGpflint(t, root, "-json", "./internal/lint/...")
+	if code != 0 {
+		t.Fatalf("gpflint -json ./internal/lint/... exited %d; want 0\n%s", code, out)
+	}
+	var empty []struct{}
+	if err := json.NewDecoder(strings.NewReader(out)).Decode(&empty); err != nil || len(empty) != 0 {
+		t.Fatalf("clean sweep must emit an empty JSON array, got %q (err %v)", out, err)
 	}
 }

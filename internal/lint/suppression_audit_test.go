@@ -1,0 +1,73 @@
+package lint_test
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gpf-go/gpf/internal/lint"
+)
+
+// TestSuppressionAudit walks every production Go file in the repo and vets
+// each //lint:ignore directive: it must name at least one analyzer, every
+// name must belong to the current Suite (a suppression of a renamed or
+// deleted analyzer is dead weight that hides nothing), and it must carry a
+// non-empty justification. Wildcard suppressions are rejected outright —
+// production code suppresses a specific finding for a specific reason.
+// Fixture trees under testdata/ are exempt; they exercise the mechanism.
+func TestSuppressionAudit(t *testing.T) {
+	root := moduleRoot(t)
+	known := make(map[string]bool)
+	for _, a := range lint.Suite() {
+		known[a.Name] = true
+	}
+	fset := token.NewFileSet()
+	audited := 0
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, walkErr error) error {
+		if walkErr != nil {
+			return walkErr
+		}
+		if d.IsDir() {
+			if path != root && (d.Name() == "testdata" || strings.HasPrefix(d.Name(), ".")) {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		f, perr := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("parsing %s: %w", path, perr)
+		}
+		for _, dir := range lint.ParseIgnoreDirectives(fset, f) {
+			audited++
+			rel, _ := filepath.Rel(root, path)
+			at := fmt.Sprintf("%s:%d", rel, dir.Line)
+			if len(dir.Names) == 0 {
+				t.Errorf("%s: lint:ignore directive names no analyzer", at)
+			}
+			for _, n := range dir.Names {
+				if n == "*" {
+					t.Errorf("%s: wildcard suppression is not allowed in production code", at)
+				} else if !known[n] {
+					t.Errorf("%s: lint:ignore names unknown analyzer %q", at, n)
+				}
+			}
+			if dir.Reason == "" {
+				t.Errorf("%s: lint:ignore directive carries no reason", at)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if audited == 0 {
+		t.Fatal("audit found no directives; the transport codecerr suppression should exist")
+	}
+}

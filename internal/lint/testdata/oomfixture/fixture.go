@@ -1,0 +1,32 @@
+// Package oomfixture reproduces the two allocate-before-validate bugs that
+// gpflint/alloclen exists to catch: the pre-fix compress.unpackSeq OOM (a
+// corrupt header length sized the output buffer before anything validated
+// it, PR 7) and the PR 8 frame-decoder shape (a fixed-width payload length
+// allocated before the bound check). The smoke test asserts that `gpflint`
+// exits non-zero on this file and attributes the findings to alloclen; the
+// fixed decoders bound the length against the payload first.
+package oomfixture
+
+import "encoding/binary"
+
+// UnpackSeqPreFix is the pre-PR-7 unpackSeq shape: DO NOT use; it exists to
+// keep the analyzer honest.
+func UnpackSeqPreFix(data []byte) ([]byte, error) {
+	n, s := binary.Uvarint(data)
+	if s <= 0 {
+		return nil, nil
+	}
+	out := make([]byte, n)
+	copy(out, data[s:])
+	return out, nil
+}
+
+// ReadFramePreFix is the PR 8 frame-decoder shape before the
+// maxFramePayload guard: the header length allocates the payload buffer
+// before it is validated.
+func ReadFramePreFix(hdr, payload []byte) []byte {
+	ln := binary.LittleEndian.Uint32(hdr[1:])
+	buf := make([]byte, int(ln))
+	copy(buf, payload)
+	return buf
+}

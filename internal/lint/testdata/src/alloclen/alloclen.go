@@ -1,0 +1,157 @@
+// Fixture for gpflint/alloclen: allocations sized by untrusted decoded
+// lengths. Loaded under a package path inside internal/compress so the
+// analyzer's decode-surface scope applies. The positive cases reproduce the
+// two real bugs the analyzer encodes: the pre-fix unpackSeq OOM (length read
+// off a corrupt header sizes a slice before anything validates it) and the
+// PR 8 frame-decoder allocate-before-validate class.
+package alloclen
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+var errShort = bytes.ErrTooLarge
+
+const maxPayload = 1 << 20
+
+// unpackSeqStyle is the pre-fix unpackSeq shape: the varint length sizes the
+// output before any check against the input.
+func unpackSeqStyle(data []byte) []byte {
+	n, s := binary.Uvarint(data)
+	if s <= 0 {
+		return nil
+	}
+	out := make([]byte, n) // want "make size derives from an untrusted decoded length"
+	copy(out, data[s:])
+	return out
+}
+
+// frameDecoderStyle is the PR 8 frame-decoder shape: a fixed-width header
+// length allocates the payload buffer before it is validated.
+func frameDecoderStyle(hdr, rest []byte) []byte {
+	ln := binary.LittleEndian.Uint32(hdr)
+	buf := make([]byte, int(ln)) // want "make size derives from an untrusted decoded length"
+	copy(buf, rest)
+	return buf
+}
+
+func capacityAndGrow(data []byte) []int {
+	n, _ := binary.Uvarint(data)
+	var scratch bytes.Buffer
+	scratch.Grow(int(n))     // want "bytes.Buffer.Grow derives from an untrusted decoded length"
+	out := make([]int, 0, n) // want "make capacity derives from an untrusted decoded length"
+	return out
+}
+
+// positivityIsNotABound: comparing against zero says nothing about how large
+// the length is, so the allocation inside the branch is still flagged.
+func positivityIsNotABound(data []byte) map[string]string {
+	nTags, _ := binary.Uvarint(data)
+	if nTags > 0 {
+		return make(map[string]string, nTags) // want "make size derives from an untrusted decoded length"
+	}
+	return nil
+}
+
+// guardedTerminating validates the length against the payload before
+// allocating — the unpackSeq fix.
+func guardedTerminating(data []byte) []byte {
+	n, s := binary.Uvarint(data)
+	if s <= 0 || n > uint64(len(data)) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// guardedEnclosing allocates only on the branch where the length is small.
+func guardedEnclosing(hdr, rest []byte) []byte {
+	ln := binary.LittleEndian.Uint32(hdr)
+	if int(ln) <= len(rest) {
+		return make([]byte, ln)
+	}
+	return nil
+}
+
+// guardedDerived checks a value derived from the length; the check
+// sanitizes the whole taint class, so the original length may size the
+// allocation afterwards.
+func guardedDerived(data []byte) []byte {
+	n, s := binary.Uvarint(data)
+	if s <= 0 {
+		return nil
+	}
+	need := (int(n) + 3) / 4
+	if need > len(data[s:]) {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// guardedAgainstConst bounds the length by a protocol constant, the frame
+// decoder fix.
+func guardedAgainstConst(hdr []byte) []byte {
+	ln := binary.LittleEndian.Uint32(hdr)
+	if ln > maxPayload {
+		return nil
+	}
+	return make([]byte, ln)
+}
+
+// readLen leaks its varint result unchecked: callers that size allocations
+// from it inherit the taint.
+func readLen(b []byte) (uint64, int) {
+	return binary.Uvarint(b)
+}
+
+func callerOfUncheckedHelper(data []byte) []byte {
+	n, s := readLen(data)
+	if s <= 0 {
+		return nil
+	}
+	return make([]byte, n) // want "make size derives from an untrusted decoded length"
+}
+
+// readLenChecked validates before returning, so its result is trusted.
+func readLenChecked(b []byte) (uint64, error) {
+	n, s := binary.Uvarint(b)
+	if s <= 0 || n > uint64(len(b)) {
+		return 0, errShort
+	}
+	return n, nil
+}
+
+func callerOfCheckedHelper(data []byte) []byte {
+	n, err := readLenChecked(data)
+	if err != nil {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// allocFrom sizes an allocation straight from its parameter, so passing an
+// unchecked untrusted length into it is flagged at the call site.
+func allocFrom(n uint64) []byte {
+	return make([]byte, n)
+}
+
+func passesUncheckedIntoHelper(data []byte) []byte {
+	n, _ := binary.Uvarint(data)
+	return allocFrom(n) // want "untrusted decoded length flows unchecked into allocFrom"
+}
+
+func passesCheckedIntoHelper(data []byte) []byte {
+	n, _ := binary.Uvarint(data)
+	if n > uint64(len(data)) {
+		return nil
+	}
+	return allocFrom(n)
+}
+
+// suppressedFinding carries a reviewed justification; the directive must
+// keep the line diagnostic-free.
+func suppressedFinding(data []byte) []byte {
+	n, _ := binary.Uvarint(data)
+	//lint:ignore gpflint/alloclen length is produced by the trusted writer in the same test
+	return make([]byte, n)
+}

@@ -1,0 +1,123 @@
+// Fixture for gpflint/chanlife: channel lifecycle discipline — double
+// close, close in a loop, send after close, close of a parameter. Loaded
+// under a package path inside internal/engine so the analyzer's scope
+// applies. Channel identity flows through the dataflow layer, so aliases of
+// one make site are the same channel.
+package chanlife
+
+import "sync"
+
+// doubleClose closes the same channel twice on one straight-line path.
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "closed more than once"
+}
+
+// aliasedDoubleClose closes one make site through two names.
+func aliasedDoubleClose() {
+	ch := make(chan int)
+	done := ch
+	close(ch)
+	close(done) // want "closed more than once"
+}
+
+// closeInLoop can reach the close on every iteration.
+func closeInLoop(parts [][]int) {
+	done := make(chan struct{})
+	for range parts {
+		close(done) // want "inside a loop"
+	}
+}
+
+// sendAfterClose panics at the send.
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "reachable after its close"
+}
+
+// closesParameter: callees are not channel owners.
+func closesParameter(results chan int) {
+	close(results) // want "close of parameter channel"
+}
+
+type gatherLike struct {
+	n    int
+	done chan struct{}
+}
+
+// completesHandedState closes a channel field of a state struct it was
+// handed: the owner delegated the lifecycle along with the struct, so this
+// is not a close-of-parameter violation.
+func completesHandedState(gs *gatherLike) {
+	if gs.n == 0 {
+		close(gs.done)
+	}
+}
+
+// onceGuarded routes both closes through sync.Once — the shuffle cancel
+// idiom.
+func onceGuarded() {
+	ch := make(chan struct{})
+	var once sync.Once
+	abort := func() { once.Do(func() { close(ch) }) }
+	abort()
+	abort()
+}
+
+// exclusiveBranches closes on mutually exclusive arms.
+func exclusiveBranches(failed bool) {
+	ch := make(chan int)
+	if failed {
+		close(ch)
+	} else {
+		close(ch)
+	}
+}
+
+type stage struct {
+	goCh chan struct{}
+}
+
+// signalOnce is the transport readiness idiom: the select's receive arm
+// wins once the channel is closed, so the default-arm close runs at most
+// once even inside the loop.
+func (s *stage) signalOnce(n int) {
+	for i := 0; i < n; i++ {
+		select {
+		case <-s.goCh:
+		default:
+			close(s.goCh)
+		}
+	}
+}
+
+// closeThenBreak leaves the loop right after closing.
+func closeThenBreak(parts [][]int) {
+	out := make(chan []int)
+	for _, p := range parts {
+		if len(p) == 0 {
+			close(out)
+			break
+		}
+		out <- p
+	}
+}
+
+// sendThenClose is the correct lifecycle order.
+func sendThenClose() {
+	ch := make(chan int, 2)
+	ch <- 1
+	ch <- 2
+	close(ch)
+}
+
+// suppressedTeardown carries a reviewed justification; the directive must
+// keep the line diagnostic-free.
+func suppressedTeardown() {
+	ch := make(chan int)
+	close(ch)
+	//lint:ignore gpflint/chanlife teardown path is serialized by the registry mutex
+	close(ch)
+}

@@ -1,0 +1,63 @@
+package leakcheck
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// recorder satisfies TB and captures the failure instead of aborting.
+type recorder struct {
+	failed bool
+	msg    string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.failed = true
+	r.msg = fmt.Sprintf(format, args...)
+}
+
+func TestCleanPasses(t *testing.T) {
+	base := Snapshot()
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+	base.Check(t, Timeout(2*time.Second))
+}
+
+func TestDetectsLeakWithStack(t *testing.T) {
+	base := Snapshot()
+	stop := make(chan struct{})
+	go parked(stop)
+
+	var rec recorder
+	base.Check(&rec, Timeout(100*time.Millisecond))
+	if !rec.failed {
+		t.Fatal("leaked goroutine not detected")
+	}
+	if !strings.Contains(rec.msg, "parked") {
+		t.Fatalf("failure does not carry the leaked stack:\n%s", rec.msg)
+	}
+
+	close(stop)
+	base.Check(t, Timeout(2*time.Second)) // drains once released
+}
+
+func TestIgnoreContaining(t *testing.T) {
+	base := Snapshot()
+	stop := make(chan struct{})
+	defer close(stop)
+	go parked(stop)
+
+	var rec recorder
+	base.Check(&rec, Timeout(100*time.Millisecond), IgnoreContaining("leakcheck.parked"))
+	if rec.failed {
+		t.Fatalf("ignored goroutine still reported:\n%s", rec.msg)
+	}
+}
+
+func parked(stop chan struct{}) {
+	<-stop
+}
