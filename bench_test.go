@@ -289,6 +289,28 @@ func BenchmarkProjectionPushdown(b *testing.B) {
 	}
 }
 
+// BenchmarkProjectionPlanner runs the three-mode planner ablation (manual
+// ReadingFields view / planner-inferred effects / planner disabled) on a
+// census plus a coordinate repartition. The headline metrics are the shuffle
+// wire bytes: only the planner propagates the downstream Rebuilds demand
+// backwards through the shuffle, so its map tasks encode two columns where
+// the other modes put whole records on the wire. The run fails outright if
+// the planner does not shuffle strictly fewer encoded bytes.
+func BenchmarkProjectionPlanner(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ProjectionPlanner(scale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Planner.WireBytes)/1e6, "planner-wire-MB")
+		b.ReportMetric(float64(res.Manual.WireBytes)/1e6, "manual-wire-MB")
+		b.ReportMetric(100*res.WireReduction(), "wire-reduction-%")
+		b.ReportMetric(float64(res.Planner.CensusDecoded)/1e6, "planner-decoded-MB")
+		b.ReportMetric(float64(res.Disabled.CensusDecoded)/1e6, "disabled-decoded-MB")
+		b.ReportMetric(100*res.DecodeReduction(), "decode-reduction-%")
+	}
+}
+
 // blockIOCodec is a string codec charging a size-proportional latency on
 // both sides, modeling the disk/network transfer a shuffle block pays in a
 // real deployment (Spark's shuffle always spills serialized blocks; see

@@ -8,6 +8,14 @@ import (
 	"github.com/gpf-go/gpf/internal/sam"
 )
 
+// readsWhole declares that a baseline stage touches every record field.
+// The comparators model whole-record systems — projection pushdown is the
+// GPF-side optimization they lack — so every stage here opts out of pruning
+// explicitly rather than relying on the planner's silent AllFields default.
+// FieldsAll (not colfmt.AllFields) keeps materialized masks saturated, so
+// stage caches satisfy any later sink demand.
+var readsWhole = engine.ReadsOnly(engine.FieldsAll)
+
 // StageStyle captures how a comparator executes one pipeline stage: which
 // serializer tier it shuffles through, and whether it converts records
 // into its own storage format before and after the stage (ADAM's
@@ -45,7 +53,7 @@ func convertStage(name string, ds *engine.Dataset[sam.Record], codec engine.Seri
 			return nil, err
 		}
 		return gob.Unmarshal(blob)
-	})
+	}, readsWhole)
 }
 
 // stageCodec picks the serializer for a style.
@@ -78,7 +86,7 @@ func RunMarkDupStage(rt *core.Runtime, records []sam.Record, style StageStyle) (
 		}
 	}
 	grouped, err := engine.PartitionBy(style.System.String()+"/group", ds, rt.NumPartitions,
-		func(r sam.Record) int { return cleaner.GroupKey(&r) })
+		func(r sam.Record) int { return cleaner.GroupKey(&r) }, readsWhole)
 	if err != nil {
 		return engine.Metrics{}, err
 	}
@@ -88,7 +96,7 @@ func RunMarkDupStage(rt *core.Runtime, records []sam.Record, style StageStyle) (
 			cleaner.SortByCoordinate(out)
 			cleaner.MarkDuplicates(out)
 			return out, nil
-		})
+		}, readsWhole)
 	if err != nil {
 		return engine.Metrics{}, err
 	}
@@ -114,7 +122,7 @@ func RunRealignStage(rt *core.Runtime, records []sam.Record, style StageStyle) (
 			return engine.Metrics{}, err
 		}
 	}
-	grouped, err := engine.PartitionBy(style.System.String()+"/partition", ds, rt.NumPartitions, positionKey)
+	grouped, err := engine.PartitionBy(style.System.String()+"/partition", ds, rt.NumPartitions, positionKey, readsWhole)
 	if err != nil {
 		return engine.Metrics{}, err
 	}
@@ -124,7 +132,7 @@ func RunRealignStage(rt *core.Runtime, records []sam.Record, style StageStyle) (
 			out := append([]sam.Record(nil), recs...)
 			cleaner.RealignIndels(out, rt.Ref, sc)
 			return out, nil
-		})
+		}, readsWhole)
 	if err != nil {
 		return engine.Metrics{}, err
 	}
@@ -151,14 +159,14 @@ func RunBQSRStage(rt *core.Runtime, records []sam.Record, style StageStyle) (eng
 			return engine.Metrics{}, err
 		}
 	}
-	grouped, err := engine.PartitionBy(style.System.String()+"/partition", ds, rt.NumPartitions, positionKey)
+	grouped, err := engine.PartitionBy(style.System.String()+"/partition", ds, rt.NumPartitions, positionKey, readsWhole)
 	if err != nil {
 		return engine.Metrics{}, err
 	}
 	tables, err := engine.MapPartitions(style.System.String()+"/count-covariates", grouped, nil,
 		func(_ int, recs []sam.Record) ([]*cleaner.RecalTable, error) {
 			return []*cleaner.RecalTable{cleaner.BuildRecalTable(recs, rt.Ref, nil)}, nil
-		})
+		}, readsWhole)
 	if err != nil {
 		return engine.Metrics{}, err
 	}
@@ -178,7 +186,7 @@ func RunBQSRStage(rt *core.Runtime, records []sam.Record, style StageStyle) (eng
 				return nil, err
 			}
 			return out, nil
-		})
+		}, readsWhole)
 	if err != nil {
 		return engine.Metrics{}, err
 	}

@@ -13,7 +13,9 @@
 //
 //	magic "Gc", version byte
 //	uvarint record count
-//	uvarint present-field bitmask (always AllFields in v1)
+//	uvarint present-field bitmask (which columns the block carries — a
+//	    projected encoder writes partial blocks; FieldFlag is always present
+//	    so the record count stays byte-backed)
 //	per present field, in bit order:
 //	    uvarint column byte length
 //	    column payload
@@ -115,36 +117,67 @@ func (c Codec) effMask() engine.FieldMask {
 	return AllFields
 }
 
-// Marshal encodes recs as one columnar block. Every column is always
-// written — projection is a decode-side choice, so one stored block serves
-// readers with different masks.
+// Marshal encodes recs as one columnar block carrying exactly the projected
+// columns: the block's present-field bitmask records which columns it holds,
+// so a partial block (a shuffle wire block pruned by the projection planner)
+// is smaller on the wire, not just cheaper to decode. The unprojected codec
+// writes every column. Absent columns decode as zero values.
 func (c Codec) Marshal(recs []sam.Record) ([]byte, error) {
+	// The flag column (one uvarint per record) is always included so every
+	// block's record count stays byte-backed — the decoder's corruption guard
+	// (count vs block size) relies on at least one per-record column.
+	present := c.effMask()&AllFields | FieldFlag
 	var cols [numFields][]byte
-	cols[0] = encNameCol(recs)
-	cols[1] = encFlagCol(recs)
-	cols[2] = encCoordCol(recs)
-	cols[3] = encMapQCol(recs)
-	cols[4] = encCigarCol(recs)
-	cols[5] = encMateCol(recs)
-	cols[6] = encSeqCol(recs)
-	qual, err := encQualCol(recs)
-	if err != nil {
-		return nil, fmt.Errorf("colfmt: qual column: %w", err)
+	for bit := 0; bit < numFields; bit++ {
+		if present&(1<<bit) == 0 {
+			continue
+		}
+		col, err := encodeColumn(bit, recs)
+		if err != nil {
+			return nil, fmt.Errorf("colfmt: column %d: %w", bit, err)
+		}
+		cols[bit] = col
 	}
-	cols[7] = qual
-	cols[8] = encTagsCol(recs)
 
 	buf := bufpool.Get()
 	defer bufpool.Put(buf)
 	var tmp [binary.MaxVarintLen64]byte
 	buf.Write([]byte{colMagic0, colMagic1, colVersion})
 	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(recs)))])
-	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(AllFields))])
-	for _, col := range cols {
-		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(col)))])
-		buf.Write(col)
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(present))])
+	for bit := 0; bit < numFields; bit++ {
+		if present&(1<<bit) == 0 {
+			continue
+		}
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(cols[bit])))])
+		buf.Write(cols[bit])
 	}
 	return bufpool.Bytes(buf), nil
+}
+
+// encodeColumn dispatches one column to its encoder.
+func encodeColumn(bit int, recs []sam.Record) ([]byte, error) {
+	switch engine.FieldMask(1) << bit {
+	case FieldName:
+		return encNameCol(recs), nil
+	case FieldFlag:
+		return encFlagCol(recs), nil
+	case FieldCoord:
+		return encCoordCol(recs), nil
+	case FieldMapQ:
+		return encMapQCol(recs), nil
+	case FieldCigar:
+		return encCigarCol(recs), nil
+	case FieldMate:
+		return encMateCol(recs), nil
+	case FieldSeq:
+		return encSeqCol(recs), nil
+	case FieldQual:
+		return encQualCol(recs)
+	case FieldTags:
+		return encTagsCol(recs), nil
+	}
+	return nil, fmt.Errorf("unknown column bit %d", bit)
 }
 
 // Unmarshal decodes a block, materializing only the projected columns.
@@ -174,17 +207,22 @@ func (c Codec) UnmarshalStats(data []byte) ([]sam.Record, engine.DecodeStats, er
 	if err != nil {
 		return nil, st, fmt.Errorf("colfmt: present mask: %w", err)
 	}
-	if engine.FieldMask(present) != AllFields {
+	if engine.FieldMask(present)&^AllFields != 0 {
 		return nil, st, fmt.Errorf("colfmt: unsupported present mask %#x", present)
 	}
-	// The flag column alone costs one byte per record, so a count exceeding
-	// the block length is corrupt — reject before allocating.
+	// The block carries only the columns in its present mask (a planner-pruned
+	// wire block is partial); absent columns stay zero values. A flag column
+	// costs one byte per record, so when present a count exceeding the block
+	// length is corrupt — the general guard below rejects before allocating.
 	if count > uint64(len(data)) {
 		return nil, st, fmt.Errorf("colfmt: record count %d exceeds block size %d", count, len(data))
 	}
 	mask := c.effMask()
 	recs := make([]sam.Record, count)
 	for bit := 0; bit < numFields; bit++ {
+		if engine.FieldMask(present)&(1<<bit) == 0 {
+			continue
+		}
 		colLen, r2, err := getUvarint(rest)
 		if err != nil {
 			return nil, st, fmt.Errorf("colfmt: column %d length: %w", bit, err)

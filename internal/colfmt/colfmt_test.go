@@ -338,3 +338,68 @@ func TestProjectionDeterminism(t *testing.T) {
 		t.Fatal("columnar census differs from gob baseline")
 	}
 }
+
+// TestPartialBlockEncode: a projected encoder writes a block carrying only
+// the masked columns (plus the always-present flag column), strictly smaller
+// than the full block, and a full decoder reads present fields back intact
+// with absent fields as zero values.
+func TestPartialBlockEncode(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	recs := randBatch(r, 80)
+	full, err := colfmt.Codec{}.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow := colfmt.Codec{}.Project(colfmt.FieldCoord | colfmt.FieldFlag)
+	partial, err := narrow.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(partial) >= len(full) {
+		t.Fatalf("partial block %d bytes, full block %d: projection saved nothing on the wire", len(partial), len(full))
+	}
+	// Full decoder over the partial block: present fields intact, absent zero.
+	got, err := colfmt.Codec{}.Unmarshal(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].RefID != recs[i].RefID || got[i].Pos != recs[i].Pos || got[i].Flag != recs[i].Flag {
+			t.Fatalf("record %d present fields: got %+v", i, got[i])
+		}
+		if got[i].Name != "" || got[i].Seq != nil || got[i].Qual != nil || got[i].Tags != nil || got[i].Cigar != nil {
+			t.Fatalf("record %d: absent fields not zero: %+v", i, got[i])
+		}
+	}
+	// A projected decoder over a partial block prunes only what the block
+	// actually carries (flag, here) and never errors on absent columns.
+	proj, ok := narrow.(engine.ProjectableSerializer[sam.Record])
+	if !ok {
+		t.Fatal("projected codec lost Project")
+	}
+	coordOnly, err := proj.Project(colfmt.FieldCoord).Unmarshal(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if coordOnly[i].Pos != recs[i].Pos || coordOnly[i].Flag != 0 {
+			t.Fatalf("record %d coord-of-partial: %+v", i, coordOnly[i])
+		}
+	}
+	// The zero-mask encoder still writes the flag column, keeping the record
+	// count byte-backed for the corruption guard.
+	tiny, err := colfmt.Codec{}.Project(0).Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiny) < len(recs) {
+		t.Fatalf("zero-mask block %d bytes for %d records: flag column missing", len(tiny), len(recs))
+	}
+	n, err := colfmt.Codec{}.Unmarshal(tiny)
+	if err != nil || len(n) != len(recs) {
+		t.Fatalf("zero-mask block decode: %d records, %v", len(n), err)
+	}
+}

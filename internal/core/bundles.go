@@ -95,7 +95,9 @@ func buildBundles(rt *Runtime, name string, flat *engine.Dataset[sam.Record], in
 				return 0
 			}
 			return info.FinalID(int(r.RefID), int(r.Pos))
-		})
+		},
+		// Routing reads only the coordinates; records pass through whole.
+		engine.ReadsOnly(colfmt.FieldCoord))
 	if err != nil {
 		return nil, err
 	}
@@ -205,6 +207,7 @@ func (b *SAMBundle) EnsureFlat(rt *Runtime) (*engine.Dataset[sam.Record], error)
 	if err != nil {
 		return nil, err
 	}
+	flat.Retain() // published on the bundle: future processes will read it
 	b.Data = flat
 	return flat, nil
 }

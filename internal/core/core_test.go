@@ -517,6 +517,11 @@ func TestCodecTierShuffleBytes(t *testing.T) {
 		if err := p.Run(); err != nil {
 			t.Fatal(err)
 		}
+		// The markdup shuffle is deferred by the projection planner until a
+		// consumer forces it; materialize before reading the byte accounting.
+		if err := deduped.Data.Force(); err != nil {
+			t.Fatal(err)
+		}
 		return rt.Engine.Metrics().TotalShuffleBytes()
 	}
 	gpfBytes := run(TierGPF)
@@ -558,5 +563,56 @@ func TestPipelineWithSerializedStorage(t *testing.T) {
 	}
 	if len(calls) != len(calls2) {
 		t.Fatalf("serialized storage changed results: %d vs %d calls", len(calls), len(calls2))
+	}
+}
+
+func TestCensusPlannerPruningWithoutAnnotations(t *testing.T) {
+	// The repartitioner census declares ReadsOnly(FieldCoord) and nothing
+	// else — no manual Force() + ReadingFields view remains in the process.
+	// The projection planner must derive the coordinate-only decode on its
+	// own: the columnar census must decode at least 90% fewer stored bytes
+	// than the same census over the gob fallback.
+	run := func(columnar bool) (decoded, pruned int64) {
+		rt := testRuntime(t, 2)
+		rt.Engine.StoreSerialized = true
+		rt.Engine.DisableColumnar = !columnar
+		pairs := simPairs(t, rt, 6)
+		ds := PairsToRDD(rt, pairs, 4)
+		fq := DefinedFASTQPair("f", ds)
+		aligned := UndefinedSAM("aligned", nil)
+		p := NewPipeline("census-align", rt)
+		p.AddProcess(NewBwaMemProcess("bwa", fq, aligned))
+		if err := p.Run(); err != nil {
+			t.Fatal(err)
+		}
+		// Materialize the aligned records as serialized blocks, then isolate
+		// the census read in the metrics.
+		if err := aligned.Data.Force(); err != nil {
+			t.Fatal(err)
+		}
+		rt.Engine.ResetMetrics()
+		info := UndefinedPartitionInfo("pi")
+		p2 := NewPipeline("census", rt)
+		p2.AddProcess(NewReadRepartitionerProcess("repart", []*SAMBundle{aligned}, info))
+		if err := p2.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if info.Info == nil {
+			t.Fatal("no partition info produced")
+		}
+		m := rt.Engine.Metrics()
+		return m.TotalDecodedBytes(), m.TotalPrunedBytes()
+	}
+	colDec, colPruned := run(true)
+	gobDec, _ := run(false)
+	if colDec == 0 || gobDec == 0 {
+		t.Fatalf("census decoded no bytes: columnar=%d gob=%d", colDec, gobDec)
+	}
+	if colPruned == 0 {
+		t.Fatal("planner-inferred census pruned nothing")
+	}
+	if reduction := 1 - float64(colDec)/float64(gobDec); reduction < 0.90 {
+		t.Fatalf("census decode reduction %.1f%% < 90%% (columnar %d bytes, gob %d)",
+			100*reduction, colDec, gobDec)
 	}
 }

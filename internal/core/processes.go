@@ -67,6 +67,9 @@ func (p *BwaMemProcess) Run(rt *Runtime) error {
 	if err != nil {
 		return err
 	}
+	// Later pipeline stages consume this bundle; their demands are unknown
+	// until they are declared, so the cache must stay full-width.
+	recs.Retain()
 	p.out.Data = recs
 	return nil
 }
@@ -95,7 +98,10 @@ func (p *MarkDuplicateProcess) Run(rt *Runtime) error {
 	}
 	grouped, err := engine.PartitionBy(p.name+"/group",
 		engine.WithCodec(flat, rt.samCodec()), rt.NumPartitions,
-		func(r sam.Record) int { return cleaner.GroupKey(&r) })
+		func(r sam.Record) int { return cleaner.GroupKey(&r) },
+		// The duplicate signature reads coordinates, flags, mate fields, the
+		// CIGAR (unclipped 5') and the library tag; records pass through.
+		engine.ReadsOnly(colfmt.FieldCoord|colfmt.FieldFlag|colfmt.FieldMate|colfmt.FieldCigar|colfmt.FieldTags))
 	if err != nil {
 		return err
 	}
@@ -105,10 +111,21 @@ func (p *MarkDuplicateProcess) Run(rt *Runtime) error {
 			cleaner.SortByCoordinate(out)
 			cleaner.MarkDuplicates(out)
 			return out, nil
-		})
+		},
+		// Marking reads the signature fields plus names and base qualities
+		// (tie-breaks) and rewrites only the flag column.
+		engine.WithEffects(engine.FieldEffects{
+			Reads: colfmt.FieldCoord | colfmt.FieldFlag | colfmt.FieldMate |
+				colfmt.FieldCigar | colfmt.FieldTags | colfmt.FieldName | colfmt.FieldQual,
+			Writes: colfmt.FieldFlag,
+		}))
 	if err != nil {
 		return err
 	}
+	// The repartitioner's census (a narrow action) may force this dataset
+	// before the bundle shuffle that also needs it exists; retaining keeps
+	// the materialized form full-width for those later consumers.
+	marked.Retain()
 	p.out.Data = marked
 	if p.out.Header == nil && p.in.Header != nil {
 		p.out.Header = p.in.Header.Clone(sam.Coordinate)
@@ -170,20 +187,18 @@ func (p *ReadRepartitionerProcess) Run(rt *Runtime) error {
 		if err != nil {
 			return err
 		}
-		// The census keys on RefID/Pos only, so read through a coordinate
-		// projection view: a columnar-stored input decodes just the coord
-		// column and prunes name/seq/qual/tags (projection pushdown). The
-		// census is a barrier anyway, so force any pending chain first — the
-		// view must wrap the materialized dataset to project its stored
-		// blocks. On a non-columnar input the view is a no-op.
-		if err := flat.Force(); err != nil {
-			return err
-		}
-		flat = engine.ReadingFields(flat, colfmt.FieldCoord)
+		// The census keys on RefID/Pos only. Declaring ReadsOnly(FieldCoord)
+		// lets the projection planner derive the pruning itself: at the
+		// census barrier its backward pass resolves a coord-only demand on
+		// flat's edge, so a columnar-stored input decodes just the coord
+		// column and prunes name/seq/qual/tags — no manual Force() +
+		// ReadingFields view needed. On a non-columnar input the mask is a
+		// no-op.
+		censusReads := engine.ReadsOnly(colfmt.FieldCoord)
 		if rt.Engine.DisableMapSideCombine {
 			// No-combine ablation: the legacy census, whole per-partition
 			// count maps shipped to a serial driver merge.
-			c, err := engine.CountByKey(p.name+"/census", flat, baseID)
+			c, err := engine.CountByKey(p.name+"/census", flat, baseID, censusReads)
 			if err != nil {
 				return err
 			}
@@ -195,7 +210,7 @@ func (p *ReadRepartitionerProcess) Run(rt *Runtime) error {
 		pairs, err := engine.ReduceByKey(p.name+"/census", flat, flat.NumPartitions(), baseID,
 			func(sam.Record) int { return 1 },
 			func(a, b int) int { return a + b },
-			engine.KeyedIntCodec{})
+			engine.KeyedIntCodec{}, censusReads)
 		if err != nil {
 			return err
 		}

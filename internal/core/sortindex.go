@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/gpf-go/gpf/internal/colfmt"
 	"github.com/gpf-go/gpf/internal/engine"
 	"github.com/gpf-go/gpf/internal/genome"
 	"github.com/gpf-go/gpf/internal/sam"
@@ -49,16 +50,21 @@ func (p *CoordinateSortProcess) Run(rt *Runtime) error {
 				return n - 1
 			}
 			return info.BaseID(int(r.RefID), int(r.Pos))
-		})
+		},
+		// Routing reads only the coordinates; records pass through whole.
+		engine.ReadsOnly(colfmt.FieldCoord))
 	if err != nil {
 		return err
 	}
 	sorted, err := engine.SortPartitions(p.name+"/sort", parted, func(a, b sam.Record) bool {
 		return sam.CoordinateLess(&a, &b)
-	})
+	},
+		// CoordinateLess orders by RefID/Pos, strand (a flag bit) and name.
+		engine.ReadsOnly(colfmt.FieldCoord|colfmt.FieldFlag|colfmt.FieldName))
 	if err != nil {
 		return err
 	}
+	sorted.Retain() // later stages (index, writer) consume the published sort
 	p.out.Data = sorted
 	if p.out.Header == nil && p.in.Header != nil {
 		p.out.Header = p.in.Header.Clone(sam.Coordinate)
@@ -132,7 +138,9 @@ func (p *IndexProcess) Run(rt *Runtime) error {
 				}
 			}
 			return []IndexEntry{e}, nil
-		})
+		},
+		// Spans need coordinates, the unmapped flag and the CIGAR (End).
+		engine.ReadsOnly(colfmt.FieldCoord|colfmt.FieldFlag|colfmt.FieldCigar))
 	if err != nil {
 		return err
 	}
@@ -184,7 +192,10 @@ func (ix *SAMIndex) Query(rt *Runtime, iv genome.Interval) ([]sam.Record, error)
 				}
 			}
 			return out, nil
-		})
+		},
+		// Overlap tests read coordinates, the unmapped flag and the CIGAR;
+		// matching records pass through whole.
+		engine.ReadsOnly(colfmt.FieldCoord|colfmt.FieldFlag|colfmt.FieldCigar))
 	if err != nil {
 		return nil, err
 	}

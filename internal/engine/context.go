@@ -81,6 +81,14 @@ type Context struct {
 	// baseline in the columnar ablation; off (columnar on) by default.
 	DisableColumnar bool
 
+	// DisableProjectionPlanner turns off the lineage-level projection planner
+	// (planner.go): wide operations run eagerly at call time instead of
+	// deferring for demand resolution, every partition read demands all
+	// fields, and only explicit ReadingFields views still project — the
+	// pre-planner engine, kept as the ablation baseline. Off (planner on) by
+	// default.
+	DisableProjectionPlanner bool
+
 	// DisableMapSideCombine turns off pre-aggregation in CombineByKey (every
 	// item is shipped as its own pair) and routes CountByKey through the
 	// legacy serial driver merge that ships whole per-partition gob maps.

@@ -10,12 +10,14 @@ import (
 )
 
 // Dataset is a partitioned in-memory collection — the engine's RDD. A
-// dataset lives in one of three states: materialized (parts), serialized
-// (blocks, when a codec is attached and the context stores serialized), or
-// lazy (plan: a recorded chain of narrow ops not yet executed — see
-// lineage.go). Datasets are immutable once materialized: operations return
-// new datasets; forcing a lazy dataset fills parts/blocks in place exactly
-// once.
+// dataset lives in one of four states: materialized (parts), serialized
+// (blocks, when a codec is attached and the context stores serialized), lazy
+// (plan: a recorded chain of narrow ops not yet executed — see lineage.go),
+// or deferred-wide (meta.wide: a shuffle whose execution waits for a
+// downstream Force so the projection planner can resolve how many columns
+// its buckets must carry — see planner.go and shuffle.go). Datasets are
+// immutable once materialized: operations return new datasets; forcing fills
+// parts/blocks in place exactly once.
 type Dataset[T any] struct {
 	ctx    *Context
 	parts  [][]T
@@ -25,9 +27,26 @@ type Dataset[T any] struct {
 	// at block-allocation time and survives WithCodec, so a dataset whose
 	// codec was swapped after materialization still decodes its stored bytes
 	// with the codec that wrote them (the new codec only applies to outputs
-	// derived from this dataset).
+	// derived from this dataset). When the planner materialized the dataset
+	// column-pruned, this is the projected encoder.
 	blockCodec Serializer[T]
 	plan       *lineage[T]
+	// meta is the projection planner's node for this dataset while it has
+	// pending work (a lazy chain or a deferred wide op); it carries the
+	// run-once state, consumer claims, and plan-graph edges. Nil for
+	// datasets born materialized.
+	meta *planMeta
+	// pendingParts is the output partition count of a deferred wide op,
+	// known at record time (the result has neither plan nor storage until
+	// its thunk runs).
+	pendingParts int
+	// hasContent/content record that the dataset was materialized holding
+	// only the fields in content (the planner resolved a narrow demand). A
+	// later read needing more recomputes through plan when possible and
+	// fails loudly otherwise — narrowed storage must never silently serve
+	// zeroed fields.
+	hasContent bool
+	content    FieldMask
 	// hasProj/proj carry a ReadingFields projection: when set, serialized
 	// blocks decode through decodeCodec().Project(proj) if the codec is
 	// projectable. hasProj distinguishes "no declaration" (decode everything)
@@ -105,14 +124,54 @@ func FromPartitions[T any](ctx *Context, parts [][]T) *Dataset[T] {
 // codec for byte accounting. Already-encoded blocks keep decoding with the
 // codec that wrote them (blockCodec), so swapping codecs never reinterprets
 // old bytes. On a lazy dataset the pending plan is forked so each codec
-// variant forces and materializes independently.
+// variant forces and materializes independently; on a deferred wide output
+// an identity chain is recorded over it so the variant materializes from the
+// shuffle result when forced.
 func WithCodec[T any](d *Dataset[T], codec Serializer[T]) *Dataset[T] {
-	res := &Dataset[T]{ctx: d.ctx, parts: d.parts, blocks: d.blocks, codec: codec, owner: d.owner, resident: d.resident}
+	if d.isLazy() {
+		res := &Dataset[T]{ctx: d.ctx, codec: codec, owner: d.owner}
+		res.plan = &lineage[T]{
+			nparts:   d.plan.nparts,
+			ops:      append([]string(nil), d.plan.ops...),
+			compute:  d.plan.compute,
+			sizeHint: d.plan.sizeHint,
+			inMask:   d.plan.inMask,
+		}
+		// The fork is one more consumer of the chain's inputs: claim them so
+		// the planner's widening rule accounts for it.
+		for _, in := range d.meta.inputs {
+			in.m.claim()
+		}
+		newLazyMeta(res, d.meta.inputs...)
+		return res
+	}
+	if d.plan == nil && d.meta != nil && !d.meta.done.Load() {
+		// Deferred wide output: wrap it in an identity chain (reads nothing,
+		// writes nothing — demand passes through unchanged) that the new
+		// codec variant materializes from when forced.
+		claimInput(d)
+		identity := fieldFX{declared: true}
+		res := &Dataset[T]{ctx: d.ctx, codec: codec, owner: d.owner}
+		res.plan = &lineage[T]{
+			nparts:   d.NumPartitions(),
+			ops:      []string{"recode"},
+			sizeHint: d.partitionSizeHint,
+			inMask:   inMaskOf(d, identity),
+			compute: func(p int, tm *TaskMetrics, need FieldMask) ([]T, error) {
+				return d.partitionNeed(p, tm, need)
+			},
+		}
+		newLazyMeta(res, inputEdge(d, identity))
+		return res
+	}
+	res := &Dataset[T]{
+		ctx: d.ctx, parts: d.parts, blocks: d.blocks, codec: codec,
+		plan: d.plan, meta: d.meta,
+		hasContent: d.hasContent, content: d.content,
+		owner: d.owner, resident: d.resident,
+	}
 	if d.blocks != nil {
 		res.blockCodec = d.decodeCodec()
-	}
-	if d.isLazy() {
-		res.plan = d.plan.fork()
 	}
 	return res
 }
@@ -124,7 +183,7 @@ func (d *Dataset[T]) Codec() Serializer[T] { return d.codec }
 func (d *Dataset[T]) Context() *Context { return d.ctx }
 
 // NumPartitions returns the partition count (known without forcing: narrow
-// ops preserve partitioning).
+// ops preserve partitioning and deferred wide ops record their output count).
 func (d *Dataset[T]) NumPartitions() int {
 	if d.plan != nil {
 		return d.plan.nparts
@@ -132,7 +191,10 @@ func (d *Dataset[T]) NumPartitions() int {
 	if d.blocks != nil {
 		return len(d.blocks)
 	}
-	return len(d.parts)
+	if d.parts != nil {
+		return len(d.parts)
+	}
+	return d.pendingParts
 }
 
 // effectiveCodec returns the serializer used to encode this dataset's
@@ -166,18 +228,44 @@ func (d *Dataset[T]) ownerOf(p int) int {
 	return p % procs
 }
 
-// partition materializes partition p, decoding when stored serialized, and
-// charges codec time to tm when non-nil. On a lazy dataset the partition is
-// computed through the fused chain closure (downstream lineages read their
-// sources this way, which is what fuses an unforced upstream chain into the
-// caller's task).
+// partition materializes partition p with full field demand — the
+// conservative read actions and effect-undeclared consumers use.
 func (d *Dataset[T]) partition(p int, tm *TaskMetrics) ([]T, error) {
-	if d.isLazy() {
-		return d.plan.compute(p, tm)
+	return d.partitionNeed(p, tm, FieldsAll)
+}
+
+// partitionNeed materializes partition p for a consumer that declared it
+// needs only the fields in need, decoding serialized blocks through
+// Project(need) when the codec supports it and charging codec time to tm
+// when non-nil. On a lazy dataset the partition is computed through the
+// fused chain closure with the demand threaded down (downstream lineages
+// read their sources this way, which is what fuses an unforced upstream
+// chain — and its inferred mask — into the caller's task). On a dataset the
+// planner materialized narrower than need, the partition is recomputed
+// through the retained chain closure; without one the read fails loudly.
+// This is the planner's choke point: Context.DisableProjectionPlanner
+// coerces every demand to FieldsAll here.
+func (d *Dataset[T]) partitionNeed(p int, tm *TaskMetrics, need FieldMask) ([]T, error) {
+	if d.ctx.DisableProjectionPlanner {
+		need = FieldsAll
 	}
-	if d.plan != nil && d.plan.err != nil {
-		// Forced and failed: the error is sticky, don't serve partial data.
-		return nil, d.plan.err
+	if d.isLazy() {
+		return d.plan.compute(p, tm, need)
+	}
+	if d.meta != nil {
+		if !d.meta.done.Load() {
+			return nil, fmt.Errorf("engine: partition %d read from a deferred wide operation that was never forced", p)
+		}
+		if d.meta.err != nil {
+			// Forced and failed: the error is sticky, don't serve partial data.
+			return nil, d.meta.err
+		}
+	}
+	if d.hasContent && need&^d.content != 0 {
+		if d.plan != nil && d.plan.compute != nil {
+			return d.plan.compute(p, tm, need)
+		}
+		return nil, fmt.Errorf("engine: partition %d was materialized with field mask %#x but this read needs %#x: the consumer appeared after the producer was forced — force with wider demand or declare the consumer first", p, uint64(d.content), uint64(need))
 	}
 	if d.resident != nil && p < len(d.resident) && !d.resident[p] {
 		return nil, fmt.Errorf("engine: partition %d not resident on rank %d (owned by rank %d): cross-rank reads must go through a shuffle or action", p, d.ctx.rank(), d.ownerOf(p))
@@ -185,9 +273,13 @@ func (d *Dataset[T]) partition(p int, tm *TaskMetrics) ([]T, error) {
 	if d.blocks != nil {
 		start := time.Now()
 		codec := d.decodeCodec()
+		mask := need
 		if d.hasProj {
+			mask &= d.proj
+		}
+		if mask != FieldsAll {
 			if pc, ok := codec.(ProjectableSerializer[T]); ok {
-				codec = pc.Project(d.proj)
+				codec = pc.Project(mask)
 			}
 		}
 		items, err := unmarshalCharged(codec, d.blocks[p], tm)
@@ -203,11 +295,13 @@ func (d *Dataset[T]) partition(p int, tm *TaskMetrics) ([]T, error) {
 }
 
 // storePartition stores out as partition p of the result; when serialized
-// storage is active and a codec is attached, it encodes and charges tm.
+// storage is active and a codec is attached, it encodes with the block codec
+// fixed at allocation time (the projected encoder when the planner resolved
+// a narrow demand) and charges tm.
 func storePartition[T any](res *Dataset[T], p int, out []T, tm *TaskMetrics) error {
 	if res.blocks != nil {
 		start := time.Now()
-		block, err := res.effectiveCodec().Marshal(out)
+		block, err := res.blockCodec.Marshal(out)
 		if err != nil {
 			return fmt.Errorf("engine: encode partition %d: %w", p, err)
 		}
@@ -227,22 +321,39 @@ func storePartition[T any](res *Dataset[T], p int, out []T, tm *TaskMetrics) err
 	return nil
 }
 
-// newResult allocates the output dataset for n partitions, carrying over the
-// codec and choosing the storage mode. blockCodec records the serializer that
-// will actually encode (effectiveSerializer, not codec): under the
-// DisableColumnar ablation the stored bytes are gob, and the decode side must
-// agree with the encode side.
+// allocResult allocates the storage for n output partitions on d, choosing
+// the storage mode and fixing the block codec. A narrow resolved demand
+// (need != FieldsAll) selects the projected encoder when the codec can
+// project — blocks carry only the demanded columns — and records the
+// narrowing in content either way (with a non-projectable chain the source
+// decodes may still have pruned the items themselves). blockCodec records
+// the serializer that will actually encode (effectiveSerializer, not codec):
+// under the DisableColumnar ablation the stored bytes are gob, and the
+// decode side must agree with the encode side.
+func allocResult[T any](d *Dataset[T], n int, need FieldMask) {
+	enc := effectiveSerializer(d.ctx, d.codec)
+	if need != FieldsAll {
+		d.hasContent, d.content = true, need
+		if pc, ok := enc.(ProjectableSerializer[T]); ok {
+			enc = pc.Project(need)
+		}
+	}
+	if d.ctx.StoreSerialized && d.codec != nil {
+		d.blocks = make([][]byte, n)
+		d.blockCodec = enc
+	} else {
+		d.parts = make([][]T, n)
+	}
+	if d.ctx.procs() > 1 {
+		d.resident = make([]bool, n)
+	}
+}
+
+// newResult allocates the output dataset for n partitions with full field
+// content, carrying over the codec.
 func newResult[T any](ctx *Context, codec Serializer[T], n int) *Dataset[T] {
 	res := &Dataset[T]{ctx: ctx, codec: codec}
-	if ctx.StoreSerialized && codec != nil {
-		res.blocks = make([][]byte, n)
-		res.blockCodec = effectiveSerializer(ctx, codec)
-	} else {
-		res.parts = make([][]T, n)
-	}
-	if ctx.procs() > 1 {
-		res.resident = make([]bool, n)
-	}
+	allocResult(res, n, FieldsAll)
 	return res
 }
 
@@ -260,7 +371,8 @@ func (d *Dataset[T]) MemoryBytes() int64 {
 // partitionSizeHint estimates the relative cost of processing partition p for
 // LPT dispatch: serialized block length when stored serialized, item count
 // otherwise. On a lazy dataset it asks the plan (which forwards to the root
-// of the fused chain). Hints order dispatch only — a bad hint costs schedule
+// of the fused chain); on an unforced deferred wide op there is no
+// information yet. Hints order dispatch only — a bad hint costs schedule
 // quality, never correctness.
 func (d *Dataset[T]) partitionSizeHint(p int) int64 {
 	if d.isLazy() {

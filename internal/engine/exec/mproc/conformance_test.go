@@ -6,8 +6,10 @@ import (
 	"sort"
 	"testing"
 
+	"github.com/gpf-go/gpf/internal/colfmt"
 	"github.com/gpf-go/gpf/internal/engine"
 	"github.com/gpf-go/gpf/internal/engine/exec/simexec"
+	"github.com/gpf-go/gpf/internal/sam"
 )
 
 // The conformance suite: every registered conformance job must produce
@@ -147,6 +149,104 @@ func init() {
 		fmt.Fprintf(&buf, "%v\n", kvs)
 		return buf.Bytes(), nil
 	})
+
+	// conf-projection: the projection planner over the real columnar codec.
+	// Declared effects let the planner shrink the shuffle wire to partial
+	// colfmt blocks (coord+flag columns); the same dataflow runs again under
+	// DisableProjectionPlanner and must produce identical records — on every
+	// backend, including pruned blocks over the mproc TCP transport.
+	RegisterJob("conf-projection", func(ctx *engine.Context, spec []byte) ([]byte, error) {
+		n, inParts, outParts, err := parseTestSpec(spec)
+		if err != nil {
+			return nil, err
+		}
+		run := func(disable bool) ([]byte, error) {
+			ctx.DisableProjectionPlanner = disable
+			ctx.StoreSerialized = true
+			d := engine.WithCodec(engine.Parallelize(ctx, confRecords(n), inParts),
+				engine.Serializer[sam.Record](colfmt.Codec{}))
+			census, err := engine.CountByKey("cp/census", d,
+				func(r sam.Record) int { return int(r.RefID) },
+				engine.ReadsOnly(colfmt.FieldCoord))
+			if err != nil {
+				return nil, err
+			}
+			sh, err := engine.PartitionBy("cp/pb", d, outParts,
+				func(r sam.Record) int { return int(r.Pos) },
+				engine.ReadsOnly(colfmt.FieldCoord))
+			if err != nil {
+				return nil, err
+			}
+			proj, err := engine.Map("cp/proj", sh, engine.Serializer[sam.Record](colfmt.Codec{}),
+				func(r sam.Record) sam.Record {
+					return sam.Record{RefID: r.RefID, Pos: r.Pos, Flag: r.Flag}
+				},
+				engine.Rebuilds(colfmt.FieldCoord|colfmt.FieldFlag))
+			if err != nil {
+				return nil, err
+			}
+			items, err := engine.Collect("cp/collect", proj)
+			if err != nil {
+				return nil, err
+			}
+			var buf bytes.Buffer
+			keys := make([]int, 0, len(census))
+			for k := range census {
+				keys = append(keys, k)
+			}
+			sort.Ints(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&buf, "%d=%d\n", k, census[k])
+			}
+			for _, r := range items {
+				fmt.Fprintf(&buf, "%d:%d:%d\n", r.RefID, r.Pos, r.Flag)
+			}
+			return buf.Bytes(), nil
+		}
+		on, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		off, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		ctx.DisableProjectionPlanner = false
+		if !bytes.Equal(on, off) {
+			return nil, fmt.Errorf("conf-projection: planner output differs from ablation")
+		}
+		return append(on, off...), nil
+	})
+}
+
+// confRecords builds n fully deterministic SAM records with every column
+// populated, so partial colfmt blocks have something substantial to prune.
+func confRecords(n int) []sam.Record {
+	recs := make([]sam.Record, n)
+	for i := range recs {
+		l := 40 + i%60
+		seq := make([]byte, l)
+		qual := make([]byte, l)
+		for j := range seq {
+			seq[j] = "ACGT"[(i+j)%4]
+			qual[j] = byte(33 + (i*7+j)%40)
+		}
+		recs[i] = sam.Record{
+			Name:    fmt.Sprintf("r%06d", i),
+			Flag:    uint16(i % 256),
+			RefID:   int32(i % 3),
+			Pos:     int32((i * 37) % 100000),
+			MapQ:    uint8(i % 60),
+			Cigar:   sam.Cigar{{Len: l, Op: 'M'}},
+			MateRef: int32((i + 1) % 3),
+			MatePos: int32((i * 53) % 100000),
+			TempLen: int32(i%400 - 200),
+			Seq:     seq,
+			Qual:    qual,
+			Tags:    map[string]string{"RG": "conf", "NM": fmt.Sprint(i % 5)},
+		}
+	}
+	return recs
 }
 
 var conformanceJobs = []struct {
@@ -157,6 +257,7 @@ var conformanceJobs = []struct {
 	{"conf-broadcast", []byte("1000,4,3")},
 	{"conf-union", []byte("800,3,4")},
 	{"conf-combine", []byte("2000,6,5")},
+	{"conf-projection", []byte("1500,4,3")},
 }
 
 // runOn executes a registered job on a constructed context (the inproc and

@@ -3,8 +3,6 @@ package engine
 import (
 	"fmt"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 )
 
@@ -13,48 +11,43 @@ import (
 // ops (Map/Filter/FlatMap/MapPartitions/ZipPartitions) do not execute when
 // called — they append themselves to the lineage, and compute is the fully
 // composed partition closure. A barrier (action, shuffle, union, sort) forces
-// the plan: one task launch per partition runs the whole chain, items flow
-// through the composed closures with no intermediate storePartition and no
-// intermediate codec round-trip, and the chain is recorded as a single fused
-// StageMetrics row.
+// the plan through a planning session (planner.go): the backward demand pass
+// resolves the field mask every edge must supply, then one task launch per
+// partition runs the whole chain, items flow through the composed closures
+// with no intermediate storePartition and no intermediate codec round-trip,
+// and the chain is recorded as a single fused StageMetrics row.
+//
+// Run-once state (children, once, err) lives on the dataset's planMeta — the
+// type-erased node the planner walks — not here; the lineage itself is only
+// the typed compute machinery.
 type lineage[T any] struct {
 	nparts int
 	// ops holds the recorded op names in execution order; the fused stage is
 	// named by joining them with "+".
 	ops []string
-	// compute evaluates partition p through the whole fused chain. It reads
-	// ancestor partitions via Dataset.partition, so a chain rooted at a
-	// since-materialized dataset picks up the stored data instead of
-	// recomputing.
-	compute func(p int, tm *TaskMetrics) ([]T, error)
+	// compute evaluates partition p through the whole fused chain, materializing
+	// only the fields in need (demanded by the consumer; FieldsAll when unknown).
+	// It reads ancestor partitions via Dataset.partitionNeed with the demand
+	// narrowed by each op's declared effects, so a chain rooted at a
+	// since-materialized columnar dataset decodes only what the chain reads.
+	compute func(p int, tm *TaskMetrics, need FieldMask) ([]T, error)
 	// sizeHint estimates partition p's input size for LPT dispatch by asking
 	// the chain's source dataset(s). Nil means no information (index-order
 	// dispatch).
 	sizeHint func(p int) int64
-
-	// children counts lazy consumers recorded over this node. The planner
-	// fuses maximal LINEAR chains: a second lazy consumer makes this node a
-	// branch point of the DAG, which forces it (otherwise both branches would
-	// inline — and recompute — the shared prefix).
-	children atomic.Int32
-
-	once sync.Once
-	done atomic.Bool
-	err  error
+	// inMask maps an output demand to the union of masks the chain's root
+	// sources are read with — the chain-input edge mask recorded in
+	// StageMetrics when the chain runs fused.
+	inMask func(need FieldMask) FieldMask
 }
 
 // fusedName joins the recorded op names into the fused stage name.
 func (l *lineage[T]) fusedName() string { return strings.Join(l.ops, "+") }
 
-// fork duplicates the plan with fresh force state, sharing the composed
-// closure. WithCodec uses this so each codec-variant materializes into its
-// own dataset.
-func (l *lineage[T]) fork() *lineage[T] {
-	return &lineage[T]{nparts: l.nparts, ops: append([]string(nil), l.ops...), compute: l.compute, sizeHint: l.sizeHint}
-}
-
 // isLazy reports whether the dataset still has an unforced plan.
-func (d *Dataset[T]) isLazy() bool { return d.plan != nil && !d.plan.done.Load() }
+func (d *Dataset[T]) isLazy() bool {
+	return d.plan != nil && d.meta != nil && !d.meta.done.Load()
+}
 
 // lineageOps returns the pending op names of a lazy dataset (nil otherwise).
 func (d *Dataset[T]) lineageOps() []string {
@@ -72,16 +65,39 @@ func chainOps(upstream []string, name string) []string {
 	return append(ops, name)
 }
 
-// claimLazyInput registers d as the input of a new lineage node. The first
-// lazy consumer fuses with d's pending chain; a second consumer marks d as a
-// DAG branch point and forces it, so both branches read the materialized
-// partitions instead of each recomputing the shared prefix. A Force error
-// here is deliberately dropped: it is sticky on the plan and resurfaces from
-// Dataset.partition when the consumer's own chain is forced.
-func claimLazyInput[T any](d *Dataset[T]) {
-	if d.isLazy() && d.plan.children.Add(1) > 1 {
-		_ = d.Force()
+// claimInput registers one more consumer over d's plan node. Unlike the
+// pre-planner engine, nothing forces here — a shared prefix materializes
+// during the first consumer's planning session, where the demands of every
+// reachable consumer are known (and errors propagate from Force instead of
+// being dropped on the floor at claim time).
+func claimInput[T any](d *Dataset[T]) {
+	d.meta.claim()
+}
+
+// inputEdge builds the planner edge from a new node to its input d: d's plan
+// node (nil when materialized — the planner skips those) plus the effect
+// record governing demand flow across the edge.
+func inputEdge[T any](d *Dataset[T], fx fieldFX) planInput {
+	return planInput{m: d.meta, fx: fx}
+}
+
+// inMaskOf composes d's chain-root mask function with the demand an op
+// places on d: for a lazy input the root mask comes from d's own chain; for
+// a materialized input the edge itself is the root.
+func inMaskOf[T any](d *Dataset[T], fx fieldFX) func(need FieldMask) FieldMask {
+	if d.isLazy() && d.plan.inMask != nil {
+		up := d.plan.inMask
+		return func(need FieldMask) FieldMask { return up(fx.inNeed(need)) }
 	}
+	return fx.inNeed
+}
+
+// newLazyMeta attaches the planner node for a freshly recorded narrow chain
+// tail: forcing it runs the fused chain with the resolved demand.
+func newLazyMeta[T any](d *Dataset[T], edges ...planInput) {
+	m := &planMeta{inputs: edges}
+	m.run = func(need FieldMask) error { return runFused(d, need) }
+	d.meta = m
 }
 
 // recordTaskInput charges the fused chain's source partition size to the
@@ -95,10 +111,11 @@ func recordTaskInput(tm *TaskMetrics, n int) {
 }
 
 // lazyNarrow records a single-input narrow op as a lineage node, composing fn
-// over the input's pending chain.
-func lazyNarrow[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(p int, items []T) ([]U, error)) *Dataset[U] {
-	claimLazyInput(d)
-	return &Dataset[U]{
+// over the input's pending chain. fx declares the op's field effects (the
+// zero value = undeclared = reads everything).
+func lazyNarrow[T, U any](name string, d *Dataset[T], codec Serializer[U], fx fieldFX, fn func(p int, items []T) ([]U, error)) *Dataset[U] {
+	claimInput(d)
+	res := &Dataset[U]{
 		ctx:   d.ctx,
 		codec: codec,
 		owner: d.owner, // narrow: output p derives from input p, same rank
@@ -106,8 +123,9 @@ func lazyNarrow[T, U any](name string, d *Dataset[T], codec Serializer[U], fn fu
 			nparts:   d.NumPartitions(),
 			ops:      chainOps(d.lineageOps(), name),
 			sizeHint: d.partitionSizeHint,
-			compute: func(p int, tm *TaskMetrics) ([]U, error) {
-				in, err := d.partition(p, tm)
+			inMask:   inMaskOf(d, fx),
+			compute: func(p int, tm *TaskMetrics, need FieldMask) ([]U, error) {
+				in, err := d.partitionNeed(p, tm, fx.inNeed(need))
 				if err != nil {
 					return nil, err
 				}
@@ -120,14 +138,29 @@ func lazyNarrow[T, U any](name string, d *Dataset[T], codec Serializer[U], fn fu
 			},
 		},
 	}
+	newLazyMeta(res, inputEdge(d, fx))
+	return res
+}
+
+// zipFX narrows a zip edge's effect record: declared Writes bits may only
+// satisfy downstream demand for inputs sharing the output's field space;
+// a type-changing edge keeps its reads but forwards full demand.
+func zipFX(fx fieldFX, sameSpace bool) fieldFX {
+	if fx.declared && !sameSpace {
+		fx.writes = FieldsAll
+	}
+	return fx
 }
 
 // lazyZip2 records a two-input narrow op (co-partitioned zip) as a lineage
 // node; both inputs' pending chains fuse into the new plan.
-func lazyZip2[A, B, U any](name string, a *Dataset[A], b *Dataset[B], codec Serializer[U], fn func(p int, as []A, bs []B) ([]U, error)) *Dataset[U] {
-	claimLazyInput(a)
-	claimLazyInput(b)
-	return &Dataset[U]{
+func lazyZip2[A, B, U any](name string, a *Dataset[A], b *Dataset[B], codec Serializer[U], fx fieldFX, fn func(p int, as []A, bs []B) ([]U, error)) *Dataset[U] {
+	claimInput(a)
+	claimInput(b)
+	fxA := zipFX(fx, sameRecordType[A, U]())
+	fxB := zipFX(fx, sameRecordType[B, U]())
+	inA, inB := inMaskOf(a, fxA), inMaskOf(b, fxB)
+	res := &Dataset[U]{
 		ctx:   a.ctx,
 		codec: codec,
 		owner: a.owner, // zips require co-partitioned (hence co-owned) inputs
@@ -135,12 +168,13 @@ func lazyZip2[A, B, U any](name string, a *Dataset[A], b *Dataset[B], codec Seri
 			nparts:   a.NumPartitions(),
 			ops:      chainOps(append(append([]string(nil), a.lineageOps()...), b.lineageOps()...), name),
 			sizeHint: func(p int) int64 { return a.partitionSizeHint(p) + b.partitionSizeHint(p) },
-			compute: func(p int, tm *TaskMetrics) ([]U, error) {
-				as, err := a.partition(p, tm)
+			inMask:   func(need FieldMask) FieldMask { return inA(need) | inB(need) },
+			compute: func(p int, tm *TaskMetrics, need FieldMask) ([]U, error) {
+				as, err := a.partitionNeed(p, tm, fxA.inNeed(need))
 				if err != nil {
 					return nil, err
 				}
-				bs, err := b.partition(p, tm)
+				bs, err := b.partitionNeed(p, tm, fxB.inNeed(need))
 				if err != nil {
 					return nil, err
 				}
@@ -153,16 +187,22 @@ func lazyZip2[A, B, U any](name string, a *Dataset[A], b *Dataset[B], codec Seri
 			},
 		},
 	}
+	newLazyMeta(res, inputEdge(a, fxA), inputEdge(b, fxB))
+	return res
 }
 
 // lazyZip3 records a three-input narrow op as a lineage node.
-func lazyZip3[A, B, C, U any](name string, a *Dataset[A], b *Dataset[B], c *Dataset[C], codec Serializer[U], fn func(p int, as []A, bs []B, cs []C) ([]U, error)) *Dataset[U] {
-	claimLazyInput(a)
-	claimLazyInput(b)
-	claimLazyInput(c)
+func lazyZip3[A, B, C, U any](name string, a *Dataset[A], b *Dataset[B], c *Dataset[C], codec Serializer[U], fx fieldFX, fn func(p int, as []A, bs []B, cs []C) ([]U, error)) *Dataset[U] {
+	claimInput(a)
+	claimInput(b)
+	claimInput(c)
+	fxA := zipFX(fx, sameRecordType[A, U]())
+	fxB := zipFX(fx, sameRecordType[B, U]())
+	fxC := zipFX(fx, sameRecordType[C, U]())
+	inA, inB, inC := inMaskOf(a, fxA), inMaskOf(b, fxB), inMaskOf(c, fxC)
 	ops := append(append([]string(nil), a.lineageOps()...), b.lineageOps()...)
 	ops = append(ops, c.lineageOps()...)
-	return &Dataset[U]{
+	res := &Dataset[U]{
 		ctx:   a.ctx,
 		codec: codec,
 		owner: a.owner,
@@ -170,16 +210,17 @@ func lazyZip3[A, B, C, U any](name string, a *Dataset[A], b *Dataset[B], c *Data
 			nparts:   a.NumPartitions(),
 			ops:      chainOps(ops, name),
 			sizeHint: func(p int) int64 { return a.partitionSizeHint(p) + b.partitionSizeHint(p) + c.partitionSizeHint(p) },
-			compute: func(p int, tm *TaskMetrics) ([]U, error) {
-				as, err := a.partition(p, tm)
+			inMask:   func(need FieldMask) FieldMask { return inA(need) | inB(need) | inC(need) },
+			compute: func(p int, tm *TaskMetrics, need FieldMask) ([]U, error) {
+				as, err := a.partitionNeed(p, tm, fxA.inNeed(need))
 				if err != nil {
 					return nil, err
 				}
-				bs, err := b.partition(p, tm)
+				bs, err := b.partitionNeed(p, tm, fxB.inNeed(need))
 				if err != nil {
 					return nil, err
 				}
-				cs, err := c.partition(p, tm)
+				cs, err := c.partitionNeed(p, tm, fxC.inNeed(need))
 				if err != nil {
 					return nil, err
 				}
@@ -192,50 +233,64 @@ func lazyZip3[A, B, C, U any](name string, a *Dataset[A], b *Dataset[B], c *Data
 			},
 		},
 	}
+	newLazyMeta(res, inputEdge(a, fxA), inputEdge(b, fxB), inputEdge(c, fxC))
+	return res
 }
 
-// Force materializes a lazy dataset: the whole pending narrow chain runs as
-// ONE fused stage (one task launch per partition) and the result is stored in
-// the dataset, so later reads — and downstream lineages rooted here — reuse
-// it instead of recomputing. Actions and wide operations call Force
-// implicitly; it is exported for callers that want an explicit execution
-// barrier (e.g. before timing a downstream stage). Forcing a materialized
-// dataset is a no-op.
+// Force materializes a lazy or deferred dataset: a planning session resolves
+// the field demand on every reachable edge, materializes prerequisite nodes
+// (deferred wide ops, shared prefixes) producers-first, then runs this
+// dataset's own pending work — a fused narrow chain as ONE stage (one task
+// launch per partition), a deferred wide op as its shuffle. The result is
+// stored in the dataset, so later reads — and downstream lineages rooted
+// here — reuse it instead of recomputing. Actions and wide operations call
+// Force implicitly; it is exported for callers that want an explicit
+// execution barrier (e.g. before timing a downstream stage). Forcing a
+// materialized dataset is a no-op; a failed Force is sticky. Forcing a sink
+// demands every field (an external reader may touch anything) — interior
+// edges of the plan still narrow per declared effects.
 func (d *Dataset[T]) Force() error {
-	if d.plan == nil {
-		return nil
-	}
-	pl := d.plan
-	pl.once.Do(func() {
-		pl.err = runFused(d)
-		pl.done.Store(true)
-	})
-	return pl.err
+	return d.forceSink(FieldsAll)
 }
+
+// Retain declares an out-of-session consumer over the dataset: one extra
+// claim whose demand is unknowable and which never arrives in any planning
+// session. Every session that materializes the dataset (or reaches it as a
+// prerequisite) therefore widens its STORED form to FieldsAll, while the
+// session's own readers still decode through their resolved masks — a
+// narrow action over a retained dataset keeps its decode pruning, but the
+// cache it leaves behind serves any later consumer. Pipeline processes call
+// this when publishing a dataset for stages declared only after the current
+// one runs; without it, an early narrow action (a coordinate census) would
+// strand the cache column-pruned and a later full-width read would fail the
+// materialized-mask guard. Retaining a materialized dataset is a no-op.
+func (d *Dataset[T]) Retain() { d.meta.claim() }
 
 // runFused executes the dataset's fused plan: one stage, one task per
 // partition, each task streaming its partition through the composed closures
 // and storing only the final output. The stage is recorded under the joined
-// op names with FusedOps set to the chain length.
-func runFused[T any](d *Dataset[T]) error {
+// op names with FusedOps set to the chain length and the resolved edge masks
+// in InMask/OutMask. When the planner resolved a narrow demand and the codec
+// can project, the output blocks are encoded column-pruned; Dataset.content
+// remembers the narrowing so a later wider read recomputes instead of
+// serving zeroes.
+func runFused[T any](d *Dataset[T], need FieldMask) error {
 	pl := d.plan
+	if d.ctx.DisableProjectionPlanner {
+		need = FieldsAll
+	}
 	n := pl.nparts
-	if d.ctx.StoreSerialized && d.codec != nil {
-		d.blocks = make([][]byte, n)
-		d.blockCodec = effectiveSerializer(d.ctx, d.codec)
-	} else {
-		d.parts = make([][]T, n)
+	allocResult(d, n, need)
+	stage := StageMetrics{Name: pl.fusedName(), Kind: StageNarrow, FusedOps: len(pl.ops), OutMask: need}
+	if pl.inMask != nil {
+		stage.InMask = pl.inMask(need)
 	}
-	if d.ctx.procs() > 1 {
-		d.resident = make([]bool, n)
-	}
-	stage := StageMetrics{Name: pl.fusedName(), Kind: StageNarrow, FusedOps: len(pl.ops)}
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
 		tms, err = d.ctx.runTasksOwned(n, pl.sizeHint, d.ownerOf, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
-			out, err := pl.compute(p, tm)
+			out, err := pl.compute(p, tm, need)
 			if err != nil {
 				return err
 			}

@@ -14,29 +14,40 @@ import (
 // maximal pending chain as one fused stage (see lineage.go). Errors from fn
 // therefore surface at the barrier, wrapped with this stage's name. Setting
 // Context.DisableFusion restores eager one-stage-per-op execution.
-func MapPartitions[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(p int, items []T) ([]U, error)) (*Dataset[U], error) {
+//
+// opts declare the op's field effects for the projection planner
+// (WithEffects/ReadsOnly/Rebuilds); with none the op conservatively reads
+// every field. Declared Writes only satisfy downstream demand when T and U
+// are the same type — a type-changing op always rebuilds its records.
+func MapPartitions[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(p int, items []T) ([]U, error), opts ...StageOption) (*Dataset[U], error) {
+	fx := resolveFX(sameRecordType[T, U](), opts)
 	if d.ctx.DisableFusion {
-		return runNarrow(name, d, codec, fn)
+		return runNarrow(name, d, codec, fx, fn)
 	}
-	return lazyNarrow(name, d, codec, fn), nil
+	return lazyNarrow(name, d, codec, fx, fn), nil
 }
 
 // runNarrow is the eager narrow stage executor: one task launch per
 // partition, storing every output partition. Barriers that are themselves
 // narrow stages (SortPartitions) and fusion-disabled contexts run through it.
-func runNarrow[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(p int, items []T) ([]U, error)) (*Dataset[U], error) {
+// The output is stored with full field content (an eager stage cannot know
+// its consumers' demands), but the input is still read under the op's
+// declared effects — fx.inNeed(FieldsAll) — so a Rebuilds-style op prunes
+// its source decode even without fusion.
+func runNarrow[T, U any](name string, d *Dataset[T], codec Serializer[U], fx fieldFX, fn func(p int, items []T) ([]U, error)) (*Dataset[U], error) {
 	if err := d.Force(); err != nil {
 		return nil, err
 	}
+	inNeed := fx.inNeed(FieldsAll)
 	res := newResult(d.ctx, codec, d.NumPartitions())
 	res.owner = d.owner // narrow: output p derives from input p, same rank
-	stage := StageMetrics{Name: name, Kind: StageNarrow}
+	stage := StageMetrics{Name: name, Kind: StageNarrow, InMask: inNeed, OutMask: FieldsAll}
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
 		tms, err = d.ctx.runTasksOwned(d.NumPartitions(), d.partitionSizeHint, d.ownerOf, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
-			in, err := d.partition(p, tm)
+			in, err := d.partitionNeed(p, tm, inNeed)
 			if err != nil {
 				return err
 			}
@@ -64,29 +75,31 @@ func runNarrow[T, U any](name string, d *Dataset[T], codec Serializer[U], fn fun
 }
 
 // Map applies fn to every item.
-func Map[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(T) U) (*Dataset[U], error) {
+func Map[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(T) U, opts ...StageOption) (*Dataset[U], error) {
 	return MapPartitions(name, d, codec, func(_ int, items []T) ([]U, error) {
 		out := make([]U, len(items))
 		for i, it := range items {
 			out[i] = fn(it)
 		}
 		return out, nil
-	})
+	}, opts...)
 }
 
 // FlatMap applies fn to every item and concatenates the results.
-func FlatMap[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(T) []U) (*Dataset[U], error) {
+func FlatMap[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(T) []U, opts ...StageOption) (*Dataset[U], error) {
 	return MapPartitions(name, d, codec, func(_ int, items []T) ([]U, error) {
 		var out []U
 		for _, it := range items {
 			out = append(out, fn(it)...)
 		}
 		return out, nil
-	})
+	}, opts...)
 }
 
-// Filter keeps items for which pred is true.
-func Filter[T any](name string, d *Dataset[T], pred func(T) bool) (*Dataset[T], error) {
+// Filter keeps items for which pred is true. A Filter that declares
+// ReadsOnly(mask) examines only those fields and passes every record through
+// untouched — the planner's canonical pass-through op.
+func Filter[T any](name string, d *Dataset[T], pred func(T) bool, opts ...StageOption) (*Dataset[T], error) {
 	return MapPartitions(name, d, d.codec, func(_ int, items []T) ([]T, error) {
 		var out []T
 		for _, it := range items {
@@ -95,41 +108,47 @@ func Filter[T any](name string, d *Dataset[T], pred func(T) bool) (*Dataset[T], 
 			}
 		}
 		return out, nil
-	})
+	}, opts...)
 }
 
 // ZipPartitions2 applies fn to aligned partitions of two co-partitioned
 // datasets. The partition counts must match; this is a narrow operation
 // (the Fig 7b fused bundle-map relies on it) and is lazy like MapPartitions:
-// both inputs' pending chains fuse into the recorded node.
-func ZipPartitions2[A, B, U any](name string, a *Dataset[A], b *Dataset[B], codec Serializer[U], fn func(p int, as []A, bs []B) ([]U, error)) (*Dataset[U], error) {
+// both inputs' pending chains fuse into the recorded node. Declared effects
+// apply per input: Writes bits only satisfy downstream demand for inputs
+// sharing the output's record type.
+func ZipPartitions2[A, B, U any](name string, a *Dataset[A], b *Dataset[B], codec Serializer[U], fn func(p int, as []A, bs []B) ([]U, error), opts ...StageOption) (*Dataset[U], error) {
 	if a.NumPartitions() != b.NumPartitions() {
 		return nil, fmt.Errorf("engine: stage %q: partition counts differ: %d vs %d", name, a.NumPartitions(), b.NumPartitions())
 	}
+	fx := resolveFX(true, opts) // per-input spaces are checked edge-by-edge
 	if !a.ctx.DisableFusion {
-		return lazyZip2(name, a, b, codec, fn), nil
+		return lazyZip2(name, a, b, codec, fx, fn), nil
 	}
 	if err := b.Force(); err != nil {
 		return nil, err
 	}
-	return runNarrow(name, a, codec, func(p int, as []A) ([]U, error) {
-		bs, err := b.partition(p, nil)
+	fxB := zipFX(fx, sameRecordType[B, U]())
+	res, err := runNarrow(name, a, codec, zipFX(fx, sameRecordType[A, U]()), func(p int, as []A) ([]U, error) {
+		bs, err := b.partitionNeed(p, nil, fxB.inNeed(FieldsAll))
 		if err != nil {
 			return nil, err
 		}
 		return fn(p, as, bs)
 	})
+	return res, err
 }
 
 // ZipPartitions3 applies fn to aligned partitions of three co-partitioned
 // datasets — the bundle join of Fig 7 (FASTA + SAM + VCF per partition).
 // Lazy like ZipPartitions2.
-func ZipPartitions3[A, B, C, U any](name string, a *Dataset[A], b *Dataset[B], c *Dataset[C], codec Serializer[U], fn func(p int, as []A, bs []B, cs []C) ([]U, error)) (*Dataset[U], error) {
+func ZipPartitions3[A, B, C, U any](name string, a *Dataset[A], b *Dataset[B], c *Dataset[C], codec Serializer[U], fn func(p int, as []A, bs []B, cs []C) ([]U, error), opts ...StageOption) (*Dataset[U], error) {
 	if a.NumPartitions() != b.NumPartitions() || a.NumPartitions() != c.NumPartitions() {
 		return nil, fmt.Errorf("engine: stage %q: partition counts differ: %d/%d/%d", name, a.NumPartitions(), b.NumPartitions(), c.NumPartitions())
 	}
+	fx := resolveFX(true, opts)
 	if !a.ctx.DisableFusion {
-		return lazyZip3(name, a, b, c, codec, fn), nil
+		return lazyZip3(name, a, b, c, codec, fx, fn), nil
 	}
 	if err := b.Force(); err != nil {
 		return nil, err
@@ -137,12 +156,14 @@ func ZipPartitions3[A, B, C, U any](name string, a *Dataset[A], b *Dataset[B], c
 	if err := c.Force(); err != nil {
 		return nil, err
 	}
-	return runNarrow(name, a, codec, func(p int, as []A) ([]U, error) {
-		bs, err := b.partition(p, nil)
+	fxB := zipFX(fx, sameRecordType[B, U]())
+	fxC := zipFX(fx, sameRecordType[C, U]())
+	return runNarrow(name, a, codec, zipFX(fx, sameRecordType[A, U]()), func(p int, as []A) ([]U, error) {
+		bs, err := b.partitionNeed(p, nil, fxB.inNeed(FieldsAll))
 		if err != nil {
 			return nil, err
 		}
-		cs, err := c.partition(p, nil)
+		cs, err := c.partitionNeed(p, nil, fxC.inNeed(FieldsAll))
 		if err != nil {
 			return nil, err
 		}
@@ -151,7 +172,8 @@ func ZipPartitions3[A, B, C, U any](name string, a *Dataset[A], b *Dataset[B], c
 }
 
 // Collect gathers all partitions to the driver in partition order. Collect is
-// an action: it forces any pending narrow chain first.
+// an action: it forces any pending narrow chain (and deferred wide op) first,
+// demanding every field — collected records leave the planner's sight.
 func Collect[T any](name string, d *Dataset[T]) ([]T, error) {
 	if err := d.Force(); err != nil {
 		return nil, err
@@ -286,7 +308,9 @@ func Reduce[T any](name string, d *Dataset[T], fn func(T, T) T) (T, bool, error)
 // Count returns the total number of items. Count is an action: it forces any
 // pending narrow chain first. It reads through a zero-field projection view:
 // a columnar-stored dataset decodes only block headers (the record count is
-// in the header), pruning every column.
+// in the header), pruning every column. The force itself still demands every
+// field — forcing with a zero demand would materialize empty records for
+// every later reader.
 func Count[T any](name string, d *Dataset[T]) (int, error) {
 	if err := d.Force(); err != nil {
 		return 0, err
@@ -299,7 +323,7 @@ func Count[T any](name string, d *Dataset[T]) (int, error) {
 		var err error
 		tms, err = d.ctx.runTasksOwned(src.NumPartitions(), src.partitionSizeHint, src.ownerOf, func(p int, tm *TaskMetrics) error {
 			start := time.Now()
-			items, err := src.partition(p, tm)
+			items, err := src.partitionNeed(p, tm, 0)
 			if err != nil {
 				return err
 			}

@@ -84,6 +84,9 @@ func shuffledPartitions(t *testing.T, items []int, inParts, outParts, workers in
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := out.Force(); err != nil {
+		t.Fatal(err)
+	}
 	parts := make([][]int, out.NumPartitions())
 	for p := range parts {
 		items, err := out.partition(p, nil)
@@ -140,7 +143,12 @@ func TestPipelinedMapErrorCancelsReduces(t *testing.T) {
 	// 2 map partitions, 6 reduce partitions: reduce tasks hold worker slots
 	// and block on notifications while the poisoned map task fails.
 	d := WithCodec(Parallelize(ctx, intRange(100), 2), failingCodec{poison: 99})
-	_, err := PartitionBy("boom", d, 6, func(x int) int { return x })
+	out, err := PartitionBy("boom", d, 6, func(x int) int { return x })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shuffle is deferred: the map-side failure surfaces at the barrier.
+	err = out.Force()
 	if err == nil {
 		t.Fatal("expected map-side error")
 	}
@@ -156,12 +164,16 @@ func TestPipelinedPanicRecovered(t *testing.T) {
 	base := leakcheck.Snapshot()
 	ctx := NewContext(4)
 	d := Parallelize(ctx, intRange(50), 4)
-	_, err := PartitionBy("panic", d, 4, func(x int) int {
+	out, err := PartitionBy("panic", d, 4, func(x int) int {
 		if x == 17 {
 			panic("route blew up")
 		}
 		return x
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = out.Force()
 	if err == nil || !strings.Contains(err.Error(), "panicked") {
 		t.Fatalf("panic not converted to error: %v", err)
 	}
@@ -176,7 +188,11 @@ func TestPipelinedFetchWaitAndOverlap(t *testing.T) {
 		ctx := NewContext(8)
 		ctx.DisablePipelinedShuffle = barrier
 		d := WithCodec(Parallelize(ctx, intRange(400), 2), slowCodec{delay: 10 * time.Millisecond})
-		if _, err := PartitionBy("pipe", d, 4, func(x int) int { return x }); err != nil {
+		out, err := PartitionBy("pipe", d, 4, func(x int) int { return x })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Force(); err != nil {
 			t.Fatal(err)
 		}
 		return ctx.Metrics()
@@ -214,7 +230,11 @@ func TestBarrierFallbackMatchesAccounting(t *testing.T) {
 		ctx := NewContext(2)
 		ctx.DisablePipelinedShuffle = barrier
 		d := Parallelize(ctx, intRange(1000), 4)
-		if _, err := PartitionBy("shuffle", d, 8, func(x int) int { return x }); err != nil {
+		out, err := PartitionBy("shuffle", d, 8, func(x int) int { return x })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Force(); err != nil {
 			t.Fatal(err)
 		}
 		m := ctx.Metrics()

@@ -42,10 +42,14 @@ type DecodeStats struct {
 	PrunedBytes int64
 }
 
-// ProjectableSerializer is a Serializer that can restrict decoding to a field
-// subset. Project returns a serializer whose Unmarshal materializes only the
-// fields in mask (other fields are zero values) and whose Marshal is
-// unchanged; Project(FieldsAll) must behave like the receiver.
+// ProjectableSerializer is a Serializer that can restrict both sides of the
+// codec to a field subset. Project returns a serializer whose Unmarshal
+// materializes only the fields in mask (other fields are zero values) and
+// whose Marshal encodes only the fields in mask — partial blocks record the
+// columns they carry, so the wire and the store shrink with the mask, not
+// just the decode. Project(FieldsAll) must behave like the receiver, and
+// projections must compose by intersection (Project(a).Project(b) ==
+// Project(a&b)).
 type ProjectableSerializer[T any] interface {
 	Serializer[T]
 	Project(mask FieldMask) Serializer[T]
@@ -94,7 +98,7 @@ func effectiveSerializer[T any](ctx *Context, codec Serializer[T]) Serializer[T]
 // instead of decoding them, so there is nothing to prune; wrap the
 // materialized source feeding the chain instead).
 func ReadingFields[T any](d *Dataset[T], mask FieldMask) *Dataset[T] {
-	if d.isLazy() {
+	if d.isLazy() || (d.meta != nil && !d.meta.done.Load()) {
 		return d
 	}
 	if d.hasProj {

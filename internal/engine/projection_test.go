@@ -19,12 +19,16 @@ const (
 )
 
 // fakeColCodec is a minimal ProjectableSerializer+StatsSerializer: uvarint
-// count, then column A (4 bytes/record), then column B. Projection skips a
-// column wholesale and charges it to PrunedBytes.
+// count, uvarint present-column mask, then one 4-bytes/record column per
+// present bit (A then B). Like colfmt, a projected encoder writes partial
+// blocks — absent columns decode as zeros — and a projected decoder skips
+// present columns wholesale, charging them to PrunedBytes.
 type fakeColCodec struct {
 	mask    FieldMask
 	projSet bool
 }
+
+const fakeAllFields = fakeFieldA | fakeFieldB
 
 func (c fakeColCodec) effMask() FieldMask {
 	if !c.projSet {
@@ -40,13 +44,19 @@ func (c fakeColCodec) Project(mask FieldMask) Serializer[fakeRec] {
 	return fakeColCodec{mask: c.effMask() & mask, projSet: true}
 }
 
-func (fakeColCodec) Marshal(items []fakeRec) ([]byte, error) {
+func (c fakeColCodec) Marshal(items []fakeRec) ([]byte, error) {
+	present := c.effMask() & fakeAllFields
 	out := binary.AppendUvarint(nil, uint64(len(items)))
-	for i := range items {
-		out = binary.LittleEndian.AppendUint32(out, uint32(items[i].A))
+	out = binary.AppendUvarint(out, uint64(present))
+	if present&fakeFieldA != 0 {
+		for i := range items {
+			out = binary.LittleEndian.AppendUint32(out, uint32(items[i].A))
+		}
 	}
-	for i := range items {
-		out = binary.LittleEndian.AppendUint32(out, uint32(items[i].B))
+	if present&fakeFieldB != 0 {
+		for i := range items {
+			out = binary.LittleEndian.AppendUint32(out, uint32(items[i].B))
+		}
 	}
 	return out, nil
 }
@@ -59,7 +69,21 @@ func (c fakeColCodec) Unmarshal(data []byte) ([]fakeRec, error) {
 func (c fakeColCodec) UnmarshalStats(data []byte) ([]fakeRec, DecodeStats, error) {
 	var st DecodeStats
 	n, hdr := binary.Uvarint(data)
-	if hdr <= 0 || uint64(len(data)-hdr) != 8*n {
+	if hdr <= 0 {
+		return nil, st, fmt.Errorf("fakecol: bad count")
+	}
+	present, ph := binary.Uvarint(data[hdr:])
+	if ph <= 0 {
+		return nil, st, fmt.Errorf("fakecol: bad present mask")
+	}
+	hdr += ph
+	ncols := 0
+	for _, f := range []FieldMask{fakeFieldA, fakeFieldB} {
+		if FieldMask(present)&f != 0 {
+			ncols++
+		}
+	}
+	if uint64(len(data)-hdr) != uint64(ncols)*4*n {
 		return nil, st, fmt.Errorf("fakecol: bad block")
 	}
 	st.DecodedBytes = int64(hdr)
@@ -73,6 +97,9 @@ func (c fakeColCodec) UnmarshalStats(data []byte) ([]fakeRec, DecodeStats, error
 	}
 	off := hdr
 	for _, col := range cols {
+		if FieldMask(present)&col.field == 0 {
+			continue
+		}
 		size := 4 * int(n)
 		if c.effMask()&col.field == 0 {
 			st.PrunedBytes += int64(size)

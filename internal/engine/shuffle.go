@@ -33,11 +33,15 @@ var errShuffleCanceled = errors.New("engine: shuffle canceled by sibling task fa
 // consumes bucket (m, r) as soon as map task m publishes it) and the
 // two-barrier run used when Context.DisablePipelinedShuffle is set. Both
 // record the same two StageMetrics rows (name/map, name/reduce) so stage
-// counts and byte accounting are strategy-independent.
+// counts and byte accounting are strategy-independent. inMask/outMask are the
+// planner-resolved edge masks recorded on those rows: what map tasks read
+// from their input, and what the wire blocks carry to the reduce side.
 type shuffleCore[B, O any] struct {
 	ctx     *Context
 	name    string
 	in, out int
+	inMask  FieldMask
+	outMask FieldMask
 	mapHint func(m int) int64
 	// mapOwner maps a map-task index to the rank owning its input partition
 	// (nil = canonical m % procs). Reduce ownership is always canonical: the
@@ -87,7 +91,7 @@ func (sc *shuffleCore[B, O]) finishReduce(r int, decoded []B, tm *TaskMetrics, s
 // pipelined run is property-tested against.
 func (sc *shuffleCore[B, O]) runBarrier() error {
 	buckets := make([][][]byte, sc.in) // buckets[mapTask][reducePartition]
-	stage := StageMetrics{Name: sc.name + "/map", Kind: StageShuffle}
+	stage := StageMetrics{Name: sc.name + "/map", Kind: StageShuffle, InMask: sc.inMask, OutMask: sc.outMask}
 	var tms []TaskMetrics
 	gc, err := gcPauseDelta(func() error {
 		var err error
@@ -119,7 +123,7 @@ func (sc *shuffleCore[B, O]) runBarrier() error {
 		}
 		return n
 	}
-	stage = StageMetrics{Name: sc.name + "/reduce", Kind: StageShuffle}
+	stage = StageMetrics{Name: sc.name + "/reduce", Kind: StageShuffle, InMask: sc.outMask, OutMask: sc.outMask}
 	gc, err = gcPauseDelta(func() error {
 		var err error
 		tms, err = sc.ctx.runTasksLPT(sc.out, redHint, func(r int, tm *TaskMetrics) error {
@@ -368,8 +372,8 @@ func (sc *shuffleCore[B, O]) runPipelined() error {
 		overlap = lastMap - firstRed
 	}
 
-	sc.ctx.recordStage(StageMetrics{Name: sc.name + "/map", Kind: StageShuffle, Tasks: mapTMs, GCPause: gc})
-	sc.ctx.recordStage(StageMetrics{Name: sc.name + "/reduce", Kind: StageShuffle, Tasks: redTMs, PipelineOverlap: overlap})
+	sc.ctx.recordStage(StageMetrics{Name: sc.name + "/map", Kind: StageShuffle, Tasks: mapTMs, GCPause: gc, InMask: sc.inMask, OutMask: sc.outMask})
+	sc.ctx.recordStage(StageMetrics{Name: sc.name + "/reduce", Kind: StageShuffle, Tasks: redTMs, PipelineOverlap: overlap, InMask: sc.outMask, OutMask: sc.outMask})
 
 	for _, err := range mapErrs {
 		if err != nil && !errors.Is(err, errShuffleCanceled) {
@@ -399,28 +403,71 @@ func (sc *shuffleCore[B, O]) runPipelined() error {
 // shuffle is the wide-operation core for key-routed item movement: route
 // decides the destination partition of each item from (map partition, item
 // index, item), map tasks bucket and serialize, reduce tasks decode arriving
-// buckets and concatenate them in map-task order. Shuffles are barriers: any
-// pending narrow chain on d is forced first.
-func shuffle[T any](name string, d *Dataset[T], numPartitions int, route func(p, idx int, item T) int) (*Dataset[T], error) {
+// buckets and concatenate them in map-task order.
+//
+// Shuffles are DEFERRED: the call records the op and returns a pending
+// dataset; the shuffle executes when a downstream barrier forces it, so the
+// projection planner knows how many columns the consumers actually need and
+// the map side encodes only those into its buckets (fx declares what route
+// itself reads). Under Context.DisableProjectionPlanner the shuffle runs
+// eagerly at call time with full columns — the historical behavior and the
+// ablation baseline.
+func shuffle[T any](name string, d *Dataset[T], numPartitions int, route func(p, idx int, item T) int, fx fieldFX) (*Dataset[T], error) {
 	if numPartitions < 1 {
 		return nil, fmt.Errorf("engine: stage %q: numPartitions must be positive", name)
 	}
-	if err := d.Force(); err != nil {
-		return nil, err
+	if d.ctx.DisableProjectionPlanner {
+		res := &Dataset[T]{ctx: d.ctx, codec: d.codec}
+		if err := runShuffle(name, d, res, numPartitions, route, fx, FieldsAll); err != nil {
+			return nil, err
+		}
+		return res, nil
 	}
-	codec := d.effectiveCodec()
+	claimInput(d)
+	res := &Dataset[T]{ctx: d.ctx, codec: d.codec, pendingParts: numPartitions}
+	m := &planMeta{wide: true, inputs: []planInput{inputEdge(d, fx)}}
+	m.run = func(need FieldMask) error {
+		return runShuffle(name, d, res, numPartitions, route, fx, need)
+	}
+	res.meta = m
+	return res, nil
+}
+
+// runShuffle executes one key-routed shuffle into res with the resolved
+// downstream demand need: the input is forced (its own planning session, a
+// no-op when the outer session already materialized it), map tasks read
+// their partitions under fx.inNeed(need) — route's fields plus whatever the
+// consumers demand — and buckets are encoded through Project(need), so wire
+// blocks carry only the demanded columns. res stores the same projected
+// blocks and remembers the narrowing in content.
+func runShuffle[T any](name string, d *Dataset[T], res *Dataset[T], numPartitions int, route func(p, idx int, item T) int, fx fieldFX, need FieldMask) error {
+	if d.ctx.DisableProjectionPlanner {
+		need = FieldsAll
+	}
+	if err := d.Force(); err != nil {
+		return err
+	}
+	mapNeed := fx.inNeed(need)
+	codec := effectiveSerializer(d.ctx, d.codec)
+	if need != FieldsAll {
+		if pc, ok := codec.(ProjectableSerializer[T]); ok {
+			codec = pc.Project(need)
+		}
+	}
+	allocResult(res, numPartitions, need)
 	in := d.NumPartitions()
-	res := newResult(d.ctx, d.codec, numPartitions)
 	sc := &shuffleCore[[]T, T]{
 		ctx:      d.ctx,
 		name:     name,
 		in:       in,
 		out:      numPartitions,
+		inMask:   mapNeed,
+		outMask:  need,
 		mapHint:  d.partitionSizeHint,
 		mapOwner: d.ownerOf,
 		res:      res,
 		mapTask: func(p int, tm *TaskMetrics, emit func(r int, block []byte)) error {
-			items, err := d.partition(p, tm)
+			items, err := d.partitionNeed(p, tm, mapNeed)
 			if err != nil {
 				return err
 			}
@@ -472,10 +519,7 @@ func shuffle[T any](name string, d *Dataset[T], numPartitions int, route func(p,
 			return out, nil
 		},
 	}
-	if err := sc.run(); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return sc.run()
 }
 
 // PartitionBy is the wide operation: items are routed to the output
@@ -484,23 +528,28 @@ func shuffle[T any](name string, d *Dataset[T], numPartitions int, route func(p,
 // bytes to map tasks; the reduce side decodes its buckets, charging
 // shuffle-read bytes. This mirrors Spark's hash shuffle, where shuffle data
 // is always serialized (and spilled to disk) even for in-memory datasets —
-// the behaviour §5.3.1 measures.
-func PartitionBy[T any](name string, d *Dataset[T], numPartitions int, key func(T) int) (*Dataset[T], error) {
-	return shuffle(name, d, numPartitions, func(_, _ int, it T) int { return key(it) })
+// the behaviour §5.3.1 measures. Declare the fields key reads via opts
+// (e.g. ReadsOnly(colfmt.FieldCoord)) so the planner can prune bucket
+// columns down to key's reads plus the downstream demand.
+func PartitionBy[T any](name string, d *Dataset[T], numPartitions int, key func(T) int, opts ...StageOption) (*Dataset[T], error) {
+	return shuffle(name, d, numPartitions, func(_, _ int, it T) int { return key(it) }, resolveFX(true, opts))
 }
 
 // Repartition rebalances items round-robin into numPartitions (a shuffle
 // without a semantic key). The destination is derived from the item's index
 // within its source partition (offset by the partition id so co-sized inputs
 // don't all start at bucket 0) — a pure function of (p, idx), so concurrent
-// map tasks share no counter state.
+// map tasks share no counter state and the router reads NO record fields:
+// its declared effects are empty, and downstream demand passes through to
+// the wire mask untouched.
 func Repartition[T any](name string, d *Dataset[T], numPartitions int) (*Dataset[T], error) {
-	return shuffle(name, d, numPartitions, func(p, idx int, _ T) int { return p + idx })
+	return shuffle(name, d, numPartitions, func(p, idx int, _ T) int { return p + idx }, fieldFX{declared: true})
 }
 
 // Union concatenates datasets partition-wise (a narrow operation: partitions
-// are appended, not merged). Union is a barrier: pending narrow chains on
-// every input are forced first.
+// are appended, not merged). Union is a barrier: pending narrow chains and
+// deferred wide ops on every input are forced first, with full demand (the
+// union output has no effect declaration of its own).
 func Union[T any](name string, ds ...*Dataset[T]) (*Dataset[T], error) {
 	if len(ds) == 0 {
 		return nil, fmt.Errorf("engine: stage %q: union of nothing", name)
@@ -563,9 +612,11 @@ func Union[T any](name string, ds ...*Dataset[T]) (*Dataset[T], error) {
 // PartitionBy keyed on genomic position to produce coordinate-sorted
 // partitions (the Cleaner's sort step). Sorting needs the whole partition
 // resident, so it is a barrier: the pending chain is forced and the sort runs
-// as its own eager stage.
-func SortPartitions[T any](name string, d *Dataset[T], less func(a, b T) bool) (*Dataset[T], error) {
-	return runNarrow(name, d, d.codec, func(_ int, items []T) ([]T, error) {
+// as its own eager stage. opts declare the fields less reads; the output is
+// a permutation of the input, so the declaration only narrows the eager
+// stage's own read when the input is already column-pruned.
+func SortPartitions[T any](name string, d *Dataset[T], less func(a, b T) bool, opts ...StageOption) (*Dataset[T], error) {
+	return runNarrow(name, d, d.codec, resolveFX(true, opts), func(_ int, items []T) ([]T, error) {
 		out := append([]T(nil), items...)
 		sort.SliceStable(out, func(i, j int) bool { return less(out[i], out[j]) })
 		return out, nil

@@ -88,7 +88,8 @@ func projectionCensus(s Scale, records []sam.Record, disableColumnar bool) (Proj
 	ctx.DisableColumnar = disableColumnar
 	stored, err := engine.MapPartitions("projection/store",
 		engine.Parallelize(ctx, records, s.NumPartitions), colfmt.Codec{},
-		func(_ int, items []sam.Record) ([]sam.Record, error) { return items, nil })
+		func(_ int, items []sam.Record) ([]sam.Record, error) { return items, nil },
+		engine.ReadsOnly(0))
 	if err != nil {
 		return ProjectionRun{}, err
 	}
@@ -101,7 +102,7 @@ func projectionCensus(s Scale, records []sam.Record, disableColumnar bool) (Proj
 	start := time.Now()
 	if _, err := engine.CountByKey("projection/census", view, func(r sam.Record) int {
 		return int(r.RefID)<<20 | int(r.Pos)
-	}); err != nil {
+	}, engine.ReadsOnly(colfmt.FieldCoord)); err != nil {
 		return ProjectionRun{}, err
 	}
 	m := ctx.Metrics()

@@ -242,6 +242,22 @@ func RunWGSOn(s Scale, backend string, procs int) ([]string, error) {
 		row("stages", fmt.Sprintf("%d", metrics.NumStages())),
 		row("shuffle GB", fmt.Sprintf("%.4f", gb(metrics.TotalShuffleBytes()))),
 		row("fetch wait", fmt.Sprintf("%.3fs", metrics.TotalFetchWait().Seconds())),
+		row("pruning ratio", fmt.Sprintf("%.1f%%", 100*metrics.PruningRatio()),
+			fmt.Sprintf("decoded %.3f MB", float64(metrics.TotalDecodedBytes())/1e6),
+			fmt.Sprintf("pruned %.3f MB", float64(metrics.TotalPrunedBytes())/1e6)),
+	}
+	// Per-stage shuffle accounting with the planner's resolved wire masks:
+	// which stages move bytes, and how narrow the planner cut each edge.
+	for i := range metrics.Stages {
+		st := &metrics.Stages[i]
+		w := st.ShuffleWriteBytes()
+		if st.Kind != engine.StageShuffle && w == 0 {
+			continue
+		}
+		lines = append(lines, row("  shuffle "+st.Name,
+			fmt.Sprintf("write %8.3f MB", float64(w)/1e6),
+			fmt.Sprintf("read %8.3f MB", float64(st.ShuffleReadBytes())/1e6),
+			fmt.Sprintf("wire mask %#x", uint64(st.OutMask))))
 	}
 	if backend == "sim" {
 		for _, p := range simexec.PredictScaling(metrics, slots, scalingProcs) {

@@ -71,6 +71,14 @@ func TestChanLife(t *testing.T) {
 	analysistest.Run(t, fixture("chanlife"), "github.com/gpf-go/gpf/internal/engine/chanlifefixture", lint.ChanLife)
 }
 
+// TestFieldFX: engine ops over sam.Record must declare field effects
+// (undeclared → loud AllFields default) and declared masks must cover the
+// callback's field reads (the unsafe-narrow case the planner would turn
+// into silently-zeroed fields).
+func TestFieldFX(t *testing.T) {
+	analysistest.Run(t, fixture("fieldfx"), "gpf/fixture/fieldfx", lint.FieldFX)
+}
+
 // TestScopeFilters asserts that path-scoped analyzers stay quiet outside
 // their packages: the scopecheck fixture contains mapiter and walltime
 // violations but is loaded under an unrelated import path, so the whole

@@ -28,6 +28,7 @@ func Suite() []*analysis.Analyzer {
 		AllocLen,
 		GoLeak,
 		ChanLife,
+		FieldFX,
 	}
 }
 

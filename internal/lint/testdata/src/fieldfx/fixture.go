@@ -1,0 +1,85 @@
+// Fixture for gpflint/fieldfx: field-effect declarations on engine ops over
+// sam.Record. Loaded under a neutral package path — the analyzer is scoped
+// by the callee (the engine's effect-capable ops) and by the record type,
+// not by the package under analysis.
+package fieldfx
+
+import (
+	"github.com/gpf-go/gpf/internal/colfmt"
+	"github.com/gpf-go/gpf/internal/engine"
+	"github.com/gpf-go/gpf/internal/sam"
+)
+
+// Undeclared effects: the planner silently defaults to AllFields, which is
+// correct but prunes nothing — the default must be loud.
+func undeclared(d *engine.Dataset[sam.Record]) {
+	engine.PartitionBy("pb", d, 4, func(r sam.Record) int { // want "PartitionBy over sam.Record declares no field effects"
+		return int(r.Pos)
+	})
+	engine.SortPartitions("sort", d, func(a, b sam.Record) bool { // want "SortPartitions over sam.Record declares no field effects"
+		return a.Pos < b.Pos
+	})
+	engine.MapPartitions("mp", d, nil, func(_ int, recs []sam.Record) ([]sam.Record, error) { // want "MapPartitions over sam.Record declares no field effects"
+		return recs, nil
+	})
+}
+
+// Unsafe-narrow: the declared mask does not cover the callback's reads, so
+// the planner may feed the callback pruned (zero) fields.
+func unsafeNarrow(d *engine.Dataset[sam.Record]) {
+	engine.Map("m", d, nil, func(r sam.Record) sam.Record {
+		r.MapQ = 0          // plain store: not a read
+		if len(r.Seq) > 0 { // want "callback reads sam.Record.Seq \\(FieldSeq\\) outside the declared effects mask"
+			r.Flag |= 4 // want "callback reads sam.Record.Flag \\(FieldFlag\\) outside the declared effects mask"
+		}
+		return r
+	}, engine.ReadsOnly(colfmt.FieldCoord))
+
+	engine.MapPartitions("mp2", d, nil, func(_ int, recs []sam.Record) ([]sam.Record, error) {
+		for i := range recs {
+			r := &recs[i] // alias of a tracked carrier
+			_ = r.Qual    // want "callback reads sam.Record.Qual \\(FieldQual\\) outside the declared effects mask"
+		}
+		return recs, nil
+	}, engine.WithEffects(engine.FieldEffects{Reads: colfmt.FieldCoord, Writes: colfmt.FieldFlag}))
+}
+
+// Negatives: covered reads, write-only fields, grouped-column bits, masks
+// the analyzer cannot evaluate, non-record datasets and suppressions.
+func negatives(d *engine.Dataset[sam.Record], ints *engine.Dataset[int], opt engine.StageOption) error {
+	// Reads within the declared mask; RefID and Pos share FieldCoord.
+	if _, err := engine.PartitionBy("ok", d, 4, func(r sam.Record) int {
+		return int(r.RefID)<<20 | int(r.Pos)
+	}, engine.ReadsOnly(colfmt.FieldCoord)); err != nil {
+		return err
+	}
+	// Rebuilds declares the reads; writes beyond them are the op's business.
+	if _, err := engine.Map("rebuild", d, nil, func(r sam.Record) sam.Record {
+		return sam.Record{RefID: r.RefID, Pos: r.Pos}
+	}, engine.Rebuilds(colfmt.FieldCoord)); err != nil {
+		return err
+	}
+	// A StageOption variable declares effects; its mask is not statically
+	// evaluable, so the narrow check trusts the author.
+	if _, err := engine.Map("opaque", d, nil, func(r sam.Record) sam.Record {
+		return sam.Record{Name: r.Name}
+	}, opt); err != nil {
+		return err
+	}
+	// Methods are outside static reach: the declaration is trusted.
+	if _, err := engine.Filter("mapped", d, func(r sam.Record) bool {
+		return !r.Unmapped()
+	}, engine.ReadsOnly(colfmt.FieldFlag)); err != nil {
+		return err
+	}
+	// Non-record datasets never need declarations.
+	if _, err := engine.PartitionBy("ints", ints, 4, func(x int) int { return x }); err != nil {
+		return err
+	}
+	// Suppression with a reason.
+	//lint:ignore gpflint/fieldfx fixture exercises the suppression path
+	if _, err := engine.CountByKey("census", d, func(r sam.Record) int { return int(r.RefID) }); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,6 +1,9 @@
 package gpf
 
-import "github.com/gpf-go/gpf/internal/engine"
+import (
+	"github.com/gpf-go/gpf/internal/colfmt"
+	"github.com/gpf-go/gpf/internal/engine"
+)
 
 // Engine operations for building custom Processes: the same primitives the
 // built-in Processes use. Narrow operations (Map, Filter, FlatMap,
@@ -11,9 +14,58 @@ import "github.com/gpf-go/gpf/internal/engine"
 // chain appears in the engine metrics as one stage named by joining the op
 // names with "+"; errors from narrow op functions likewise surface at the
 // barrier, not at the recording call.
+//
+// Every operation accepts optional StageOptions declaring its field effects
+// (ReadsOnly, Rebuilds, WithEffects). The projection planner uses the
+// declarations to compute, at each barrier, the minimal field set every edge
+// of the plan must carry — pruning column decodes and shuffle wire bytes
+// without any manual ReadingFields annotation. Undeclared ops conservatively
+// read and write all fields.
 
 // Serializer is the partition codec interface (see GPFSAMCodec and friends).
 type Serializer[T any] = engine.Serializer[T]
+
+// FieldMask selects record fields for effect declarations (bit meanings
+// belong to the codec; see the colfmt Field* constants).
+type FieldMask = engine.FieldMask
+
+// FieldEffects declares which fields an operation reads and which it writes.
+type FieldEffects = engine.FieldEffects
+
+// Field bits of the SAM record codec — the columns of the columnar block
+// layout. Combine with | in effect declarations. FieldCoord covers
+// RefID+Pos; FieldMate covers MateRef/MatePos/TempLen.
+const (
+	FieldName  = colfmt.FieldName
+	FieldFlag  = colfmt.FieldFlag
+	FieldCoord = colfmt.FieldCoord
+	FieldMapQ  = colfmt.FieldMapQ
+	FieldCigar = colfmt.FieldCigar
+	FieldMate  = colfmt.FieldMate
+	FieldSeq   = colfmt.FieldSeq
+	FieldQual  = colfmt.FieldQual
+	FieldTags  = colfmt.FieldTags
+)
+
+// FieldsAll saturates a mask: the op touches every field of its record
+// type, whatever the codec. Use it — not a union of the bits above — to
+// declare "reads everything", so the materialized partitions satisfy any
+// later demand.
+const FieldsAll = engine.FieldsAll
+
+// StageOption configures an engine operation (currently: effect declarations).
+type StageOption = engine.StageOption
+
+// WithEffects declares an op's field effects explicitly.
+func WithEffects(fx FieldEffects) StageOption { return engine.WithEffects(fx) }
+
+// ReadsOnly declares a pass-through op that reads only the given fields and
+// rewrites none (output fields come from the input unchanged).
+func ReadsOnly(mask FieldMask) StageOption { return engine.ReadsOnly(mask) }
+
+// Rebuilds declares an op that reads the given fields and rewrites every
+// field of its output records.
+func Rebuilds(reads FieldMask) StageOption { return engine.Rebuilds(reads) }
 
 // Parallelize distributes items over numPartitions.
 func Parallelize[T any](eng *Engine, items []T, numPartitions int) *Dataset[T] {
@@ -26,33 +78,33 @@ func WithCodec[T any](d *Dataset[T], codec Serializer[T]) *Dataset[T] {
 }
 
 // Map applies fn to every item.
-func Map[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(T) U) (*Dataset[U], error) {
-	return engine.Map(name, d, codec, fn)
+func Map[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(T) U, opts ...StageOption) (*Dataset[U], error) {
+	return engine.Map(name, d, codec, fn, opts...)
 }
 
 // Filter keeps items for which pred is true.
-func Filter[T any](name string, d *Dataset[T], pred func(T) bool) (*Dataset[T], error) {
-	return engine.Filter(name, d, pred)
+func Filter[T any](name string, d *Dataset[T], pred func(T) bool, opts ...StageOption) (*Dataset[T], error) {
+	return engine.Filter(name, d, pred, opts...)
 }
 
 // FlatMap applies fn to every item and concatenates the results.
-func FlatMap[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(T) []U) (*Dataset[U], error) {
-	return engine.FlatMap(name, d, codec, fn)
+func FlatMap[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(T) []U, opts ...StageOption) (*Dataset[U], error) {
+	return engine.FlatMap(name, d, codec, fn, opts...)
 }
 
 // MapPartitions transforms whole partitions.
-func MapPartitions[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(p int, items []T) ([]U, error)) (*Dataset[U], error) {
-	return engine.MapPartitions(name, d, codec, fn)
+func MapPartitions[T, U any](name string, d *Dataset[T], codec Serializer[U], fn func(p int, items []T) ([]U, error), opts ...StageOption) (*Dataset[U], error) {
+	return engine.MapPartitions(name, d, codec, fn, opts...)
 }
 
 // PartitionBy shuffles items to the partition selected by key.
-func PartitionBy[T any](name string, d *Dataset[T], numPartitions int, key func(T) int) (*Dataset[T], error) {
-	return engine.PartitionBy(name, d, numPartitions, key)
+func PartitionBy[T any](name string, d *Dataset[T], numPartitions int, key func(T) int, opts ...StageOption) (*Dataset[T], error) {
+	return engine.PartitionBy(name, d, numPartitions, key, opts...)
 }
 
 // SortPartitions sorts every partition by less.
-func SortPartitions[T any](name string, d *Dataset[T], less func(a, b T) bool) (*Dataset[T], error) {
-	return engine.SortPartitions(name, d, less)
+func SortPartitions[T any](name string, d *Dataset[T], less func(a, b T) bool, opts ...StageOption) (*Dataset[T], error) {
+	return engine.SortPartitions(name, d, less, opts...)
 }
 
 // Collect gathers all partitions to the driver.
@@ -69,4 +121,9 @@ func Reduce[T any](name string, d *Dataset[T], fn func(T, T) T) (value T, found 
 // Count returns the total number of items.
 func Count[T any](name string, d *Dataset[T]) (int, error) {
 	return engine.Count(name, d)
+}
+
+// CountByKey counts items per integer key.
+func CountByKey[T any](name string, d *Dataset[T], key func(T) int, opts ...StageOption) (map[int]int, error) {
+	return engine.CountByKey(name, d, key, opts...)
 }
